@@ -1,0 +1,49 @@
+// F1 — Fig. 1 of the paper: the structural transformation from a clocked
+// FF circuit (a) to a latch-based circuit with local controllers (b).
+// Regenerated as a structural inventory of the same design before/after.
+#include <cstdio>
+
+#include "circuits/circuits.h"
+#include "core/clocktree.h"
+#include "core/desynchronizer.h"
+#include "netlist/query.h"
+
+using namespace desyn;
+using cell::Kind;
+using cell::Tech;
+
+static void print_inventory(const char* title, const nl::Netlist& nl) {
+  nl::Stats s = nl::stats(nl, Tech::generic90());
+  printf("  %-28s cells=%5zu area=%9.0fum2 | FF=%zu latch=%zu C-elem=%zu "
+         "delay=%zu buf=%zu\n",
+         title, s.cells, s.area, s.flipflops, s.latches, s.celems,
+         s.delay_cells, s.count(Kind::Buf));
+}
+
+int main() {
+  printf("== F1: FF circuit + clock tree  ->  latches + local controllers ==\n\n");
+  circuits::Circuit c = circuits::pipeline(3, 8, 2);
+  const Tech& t = Tech::generic90();
+
+  print_inventory("original FF netlist", c.netlist);
+
+  nl::Netlist sync_nl = c.netlist;
+  flow::ClockTree tree = flow::build_clock_tree(sync_nl, c.clock, t);
+  print_inventory("sync implementation (a)", sync_nl);
+  printf("      clock tree: %zu buffers, %d levels, %lldps insertion\n",
+         tree.buffers.size(), tree.levels,
+         static_cast<long long>(tree.insertion_delay));
+
+  flow::DesyncResult dr = flow::desynchronize(c.netlist, c.clock, t);
+  print_inventory("de-synchronized (b)", dr.netlist);
+  printf("      banks: %zu (", dr.cg.num_banks());
+  for (size_t i = 0; i < dr.cg.num_banks(); ++i) {
+    printf("%s%s", i ? " " : "", dr.cg.bank(static_cast<int>(i)).name.c_str());
+  }
+  printf(")\n      matched-delay lines: %zu DELAY cells total\n",
+         dr.ctrl.delay_units);
+  printf("\n  every flip-flop became a master/slave latch pair; the clock\n"
+         "  tree was replaced by one pulse controller per bank plus\n"
+         "  matched-delay request lines (paper Fig. 1b).\n");
+  return 0;
+}

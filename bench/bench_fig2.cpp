@@ -1,0 +1,54 @@
+// F2 — Fig. 2 of the paper: a latch-based netlist and its
+// de-synchronization model (composed marked graph), with the properties the
+// theory requires (liveness, safety) checked mechanically.
+#include <cstdio>
+
+#include "ctl/protocol.h"
+#include "pn/analysis.h"
+
+using namespace desyn;
+using ctl::ControlGraph;
+using ctl::Protocol;
+
+int main() {
+  printf("== F2: netlist -> de-synchronization marked graph (paper Fig. 2) ==\n\n");
+  // A seven-latch netlist with the even/odd structure of the figure:
+  // two parallel input latches feeding a reconvergent middle stage that
+  // fans out to two output latches.
+  ControlGraph cg;
+  int A = cg.add_bank("A", true);
+  int D = cg.add_bank("D", true);
+  int B = cg.add_bank("B", false);
+  int C = cg.add_bank("C", false);
+  int E = cg.add_bank("E", true);
+  int F = cg.add_bank("F", false);
+  int G = cg.add_bank("G", false);
+  cg.add_edge(A, B, 0);
+  cg.add_edge(D, C, 0);
+  cg.add_edge(B, E, 0);
+  cg.add_edge(C, E, 0);
+  cg.add_edge(E, F, 0);
+  cg.add_edge(E, G, 0);
+  cg.add_edge(F, A, 0);  // environment loop closing the system
+  cg.add_edge(G, D, 0);
+
+  pn::MarkedGraph mg = ctl::protocol_mg(cg, Protocol::FullyDecoupled);
+  printf("  transitions: %zu (a+/a- per latch)\n", mg.num_transitions());
+  printf("  arcs: %zu\n", mg.num_arcs());
+  for (uint32_t i = 0; i < mg.num_arcs(); ++i) {
+    const pn::Arc& a = mg.arc(pn::ArcId(i));
+    printf("    %-3s -> %-3s %s\n", mg.transition(a.from).name.c_str(),
+           mg.transition(a.to).name.c_str(), a.tokens ? "(*)" : "");
+  }
+  printf("\n  live: %s   safe: %s\n", pn::is_live(mg) ? "yes" : "NO",
+         pn::is_safe(mg) ? "yes" : "NO");
+  auto reach = pn::explore(mg);
+  printf("  reachable markings: %llu (complete=%d, max tokens/place=%d)\n",
+         static_cast<unsigned long long>(reach.states), reach.complete,
+         reach.max_tokens);
+  auto seq = ctl::canonical_schedule(mg, cg, Protocol::FullyDecoupled, 3);
+  printf("  synchronous schedule admissible: %s\n",
+         pn::admits_sequence(mg, seq) == -1 ? "yes" : "NO");
+  printf("\n  graphviz (render with dot -Tpng):\n%s\n", mg.to_dot().c_str());
+  return 0;
+}

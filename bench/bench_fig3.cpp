@@ -1,0 +1,69 @@
+// F3 — Fig. 3 of the paper: pipeline de-synchronization — the timing
+// diagram of the latch control signals and the corresponding marked-graph
+// unfolding. Regenerated from a gate-level simulation of a de-synchronized
+// 2-stage (4-bank: A=st0.m, B=st0.s, C=st1.m, D=st1.s) pipeline, plus the
+// analytic earliest-firing schedule of the protocol model.
+#include <cstdio>
+
+#include "circuits/circuits.h"
+#include "core/desynchronizer.h"
+#include "pn/mcr.h"
+#include "sim/sim.h"
+
+using namespace desyn;
+using cell::Tech;
+
+int main() {
+  printf("== F3: pipeline de-synchronization timing diagram (paper Fig. 3) ==\n\n");
+  circuits::Circuit c = circuits::pipeline(2, 8, 3);
+  const Tech& t = Tech::generic90();
+  flow::DesyncResult dr = flow::desynchronize(c.netlist, c.clock, t);
+
+  const Ps t0 = 2000, t1 = 12000, dt = 100;
+  sim::Simulator sim2(dr.netlist, t);
+  std::vector<std::vector<std::pair<Ps, bool>>> waves(dr.cg.num_banks());
+  for (size_t i = 0; i < dr.cg.num_banks(); ++i) {
+    sim2.watch(dr.enable(static_cast<int>(i)), [&waves, i](Ps at, sim::V v) {
+      if (v != sim::V::VX) waves[i].emplace_back(at, v == sim::V::V1);
+    });
+  }
+  sim2.run_until(t1);
+
+  printf("  latch enables, %lld..%lldps (one column = %lldps):\n\n",
+         static_cast<long long>(t0), static_cast<long long>(t1),
+         static_cast<long long>(dt));
+  for (size_t i = 0; i < dr.cg.num_banks(); ++i) {
+    printf("  %-10s ", dr.cg.bank(static_cast<int>(i)).name.c_str());
+    bool level = false;
+    size_t k = 0;
+    for (Ps at = t0; at < t1; at += dt) {
+      while (k < waves[i].size() && waves[i][k].first <= at) {
+        level = waves[i][k].second;
+        ++k;
+      }
+      // reset k-scan cheaply: waves are sorted; track from start each row
+      putchar(level ? '#' : '.');
+    }
+    printf("\n");
+    (void)level;
+  }
+
+  printf("\n  each '#' pulse = one latch transparency window; data items\n"
+         "  ripple through while earlier values have already been captured\n"
+         "  downstream (no overwriting) — the behaviour of paper Fig. 3.\n");
+
+  // Marked-graph unfolding (earliest-firing schedule) of the model.
+  pn::MarkedGraph mg = flow::timed_control_model(dr, t);
+  auto sched = pn::earliest_schedule(mg, 4);
+  printf("\n  protocol-model unfolding (first 4 firings, ps):\n");
+  for (uint32_t tr = 0; tr < mg.num_transitions(); ++tr) {
+    printf("    %-12s", mg.transition(pn::TransId(tr)).name.c_str());
+    for (int k = 0; k < 4; ++k) {
+      printf(" %7lld", static_cast<long long>(sched[tr][static_cast<size_t>(k)]));
+    }
+    printf("\n");
+  }
+  auto mcr = pn::max_cycle_ratio(mg);
+  printf("\n  analytic cycle time (max cycle ratio): %.0fps\n", mcr.ratio);
+  return 0;
+}

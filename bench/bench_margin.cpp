@@ -1,0 +1,39 @@
+// A4 — ablation: matched-delay margin sweep. The margin multiplies every
+// STA-sized matched delay; larger margins buy robustness (setup slack at
+// the latches) for cycle time. The sweep reports measured period, setup
+// violations and flow equivalence at each point.
+#include <cstdio>
+
+#include "circuits/circuits.h"
+#include "verif/flow_equivalence.h"
+
+using namespace desyn;
+using cell::Tech;
+
+int main() {
+  const Tech& t = Tech::generic90();
+  printf("== A4: matched-delay margin sweep (pipe8x16 + fir8x12) ==\n\n");
+  for (const char* which : {"pipe", "fir"}) {
+    circuits::Circuit c = which[0] == 'p' ? circuits::pipeline(8, 16, 3)
+                                          : circuits::fir_filter(8, 12);
+    printf("  %s:\n", c.netlist.name().c_str());
+    printf("    %-8s %12s %10s %10s %8s\n", "margin", "period", "sync-viol",
+           "desync-viol", "equiv");
+    for (double margin : {1.0, 1.05, 1.15, 1.3, 1.5}) {
+      verif::FlowEqOptions opt;
+      opt.rounds = 25;
+      opt.desync.margin = margin;
+      auto r = verif::check_flow_equivalence(
+          c.netlist, c.clock, verif::random_stimulus(17), t, opt);
+      printf("    %-8.2f %10.0fps %10llu %10llu %8s\n", margin,
+             r.desync_period,
+             static_cast<unsigned long long>(r.sync_setup_violations),
+             static_cast<unsigned long long>(r.desync_setup_violations),
+             r.equivalent ? "PASS" : "FAIL");
+    }
+  }
+  printf("\n  with exact delay models even margin 1.0 is safe (the line\n"
+         "  quantization to whole DELAY cells already over-provisions); real\n"
+         "  flows keep 10-15%% for process variation, as the paper did.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// P1 — library performance (google-benchmark): how fast the flow itself
+// runs (STA, event simulation, desynchronization, model analytics).
+#include <benchmark/benchmark.h>
+
+#include "circuits/circuits.h"
+#include "core/desynchronizer.h"
+#include "dlx/cpu_builder.h"
+#include "dlx/programs.h"
+#include "pn/mcr.h"
+#include "sim/sim.h"
+#include "sta/sta.h"
+
+using namespace desyn;
+using cell::Tech;
+
+static void BM_StaDlx(benchmark::State& state) {
+  nl::Netlist nl("dlx");
+  dlx::build_dlx(nl, {}, dlx::fibonacci_program(10));
+  const Tech& t = Tech::generic90();
+  for (auto _ : state) {
+    sta::Sta sta(nl, t);
+    benchmark::DoNotOptimize(sta.min_clock_period().min_period);
+  }
+  state.counters["cells"] = static_cast<double>(nl.num_live_cells());
+}
+BENCHMARK(BM_StaDlx);
+
+static void BM_SimulatePipeline(benchmark::State& state) {
+  circuits::Circuit c =
+      circuits::pipeline(static_cast<int>(state.range(0)), 16, 3);
+  const Tech& t = Tech::generic90();
+  uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Simulator sim(c.netlist, t);
+    sim.add_clock(c.clock, 2000, 1000);
+    sim::poke_word(sim, c.netlist.inputs(), 0x2aaaa, 0);  // skip clk bit 0? no
+    sim.run_until(100000);
+    events += sim.events_processed();
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatePipeline)->Arg(4)->Arg(16);
+
+static void BM_DesynchronizeDlx(benchmark::State& state) {
+  nl::Netlist nl("dlx");
+  dlx::build_dlx(nl, {}, dlx::fibonacci_program(10));
+  const Tech& t = Tech::generic90();
+  for (auto _ : state) {
+    flow::DesyncResult dr = flow::desynchronize(nl, nl.find_net("clk"), t);
+    benchmark::DoNotOptimize(dr.netlist.num_live_cells());
+  }
+}
+BENCHMARK(BM_DesynchronizeDlx);
+
+static void BM_MaxCycleRatio(benchmark::State& state) {
+  nl::Netlist nl("dlx");
+  dlx::build_dlx(nl, {}, dlx::fibonacci_program(10));
+  const Tech& t = Tech::generic90();
+  flow::DesyncResult dr = flow::desynchronize(nl, nl.find_net("clk"), t);
+  pn::MarkedGraph mg = flow::timed_control_model(dr, t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pn::max_cycle_ratio(mg).ratio);
+  }
+}
+BENCHMARK(BM_MaxCycleRatio);
+
+BENCHMARK_MAIN();

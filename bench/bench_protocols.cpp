@@ -1,0 +1,82 @@
+// A1 — ablation: controller protocol comparison. Analytic cycle time (max
+// cycle ratio of the timed protocol model) for all four protocols over
+// pipeline rings of growing depth, plus the measured gate-level period of
+// the shipped Pulse controllers.
+#include <cstdio>
+
+#include "ctl/conformance.h"
+#include "ctl/controller.h"
+#include "pn/mcr.h"
+#include "sim/sim.h"
+
+using namespace desyn;
+using cell::Tech;
+using ctl::ControlGraph;
+using ctl::Protocol;
+
+static ControlGraph ring(int n, Ps delay) {
+  ControlGraph cg;
+  for (int i = 0; i < n; ++i) cg.add_bank(cat("B", i), i % 2 == 0);
+  for (int i = 0; i < n; ++i) {
+    cg.add_edge(i, (i + 1) % n, i % 2 == 0 ? 100 : delay);
+  }
+  return cg;
+}
+
+int main() {
+  const Tech& t = Tech::generic90();
+  const Ps ctrl = t.delay(cell::Kind::CElem, 2, 2);
+  const Ps cl = 900;  // slave->master combinational delay per stage
+
+  printf("== A1: protocol comparison, M/S pipeline rings (CL=%lldps) ==\n\n",
+         static_cast<long long>(cl));
+  printf("  %-6s %12s %12s %12s %12s %14s\n", "banks", "lockstep", "semi",
+         "fully", "pulse", "pulse(gates)");
+  for (int n : {4, 8, 12, 16, 24, 32}) {
+    ControlGraph cg = ring(n, cl);
+    // Quantized delays, as the hardware lines are.
+    ControlGraph q;
+    for (size_t i = 0; i < cg.num_banks(); ++i) {
+      q.add_bank(cg.bank(static_cast<int>(i)).name,
+                 cg.bank(static_cast<int>(i)).even);
+    }
+    for (const auto& e : cg.edges()) {
+      Ps cells = std::max<Ps>(1, (e.matched_delay + t.delay_unit() - 1) /
+                                     t.delay_unit());
+      q.add_edge(e.from, e.to, cells * t.delay_unit());
+    }
+    double periods[4];
+    const Protocol protos[] = {Protocol::Lockstep, Protocol::SemiDecoupled,
+                               Protocol::FullyDecoupled, Protocol::Pulse};
+    for (int p = 0; p < 4; ++p) {
+      Ps pw = protos[p] == Protocol::Pulse ? 3 * t.spec(cell::Kind::Buf).delay
+                                           : 0;
+      periods[p] =
+          pn::max_cycle_ratio(ctl::protocol_mg(q, protos[p], ctrl, pw)).ratio;
+    }
+
+    // Gate-level measurement for Pulse.
+    nl::Netlist nl("ctrl");
+    nl::Builder b(nl);
+    ctl::ControllerNetwork net =
+        ctl::synthesize_controllers(b, cg, Protocol::Pulse, t);
+    sim::Simulator sim(nl, t);
+    std::vector<Ps> rises;
+    sim.watch(net.enables[0], [&](Ps at, sim::V v) {
+      if (v == sim::V::V1) rises.push_back(at);
+    });
+    sim.run_until(400000);
+    double measured =
+        rises.size() > 9
+            ? static_cast<double>(rises.back() - rises[rises.size() - 9]) / 8
+            : -1;
+
+    printf("  %-6d %10.0fps %10.0fps %10.0fps %10.0fps %12.0fps\n", n,
+           periods[0], periods[1], periods[2], periods[3], measured);
+  }
+  printf("\n  the decoupled protocols admit more concurrency (lower bound on\n"
+         "  the period); on homogeneous rings all converge to the per-stage\n"
+         "  bound CL + controller overhead, which the gate-level pulse\n"
+         "  network tracks.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// A2 — ablation: de-synchronization overhead vs. circuit size and shape.
+// For every suite circuit: sync vs. desync cycle time / power / area (the
+// per-circuit miniature of Table 1), with flow equivalence asserted.
+#include <cstdio>
+
+#include "circuits/circuits.h"
+#include "core/clocktree.h"
+#include "core/report.h"
+#include "netlist/query.h"
+#include "verif/flow_equivalence.h"
+
+using namespace desyn;
+using cell::Tech;
+
+int main() {
+  const Tech& t = Tech::generic90();
+  printf("== A2: overhead scaling across the circuit suite ==\n\n");
+  printf("  %-12s %6s | %9s %9s %6s | %8s %8s %6s | %9s %9s %6s | %s\n",
+         "circuit", "cells", "Tsync", "Tdesync", "d%", "Psync", "Pdesync",
+         "d%", "Async", "Adesync", "d%", "equiv");
+
+  for (auto& s : circuits::scaling_suite()) {
+    size_t cells = s.circuit.netlist.num_live_cells();
+    verif::FlowEqOptions opt;
+    opt.rounds = 25;
+    auto r = verif::check_flow_equivalence(s.circuit.netlist, s.circuit.clock,
+                                           verif::random_stimulus(3), t, opt);
+
+    // Areas: sync pays for a clock tree; desync for controllers and lines.
+    nl::Netlist sync_nl = s.circuit.netlist;
+    flow::ClockTree tree =
+        flow::build_clock_tree(sync_nl, s.circuit.clock, t);
+    (void)tree;
+    Um2 a_sync = flow::total_area(sync_nl, t);
+    flow::DesyncResult dr =
+        flow::desynchronize(s.circuit.netlist, s.circuit.clock, t);
+    Um2 a_desync = flow::total_area(dr.netlist, t);
+
+    auto pct = [](double a, double b) { return 100.0 * (b - a) / a; };
+    printf("  %-12s %6zu | %7lldps %7.0fps %5.1f%% | %6.2fmW %6.2fmW %5.1f%% "
+           "| %7.0fu2 %7.0fu2 %5.1f%% | %s\n",
+           s.name.c_str(), cells, static_cast<long long>(r.sync_period),
+           r.desync_period,
+           pct(static_cast<double>(r.sync_period), r.desync_period),
+           r.sync_power_mw, r.desync_power_mw,
+           pct(r.sync_power_mw, r.desync_power_mw), a_sync, a_desync,
+           pct(a_sync, a_desync), r.equivalent ? "PASS" : "FAIL");
+  }
+  printf("\n  the fixed controller latency and per-bank hardware amortize\n"
+         "  with circuit size: relative overheads shrink from the tiny\n"
+         "  circuits toward the DLX-class result of bench_table1 (a few\n"
+         "  percent) — the regime the paper reports.\n");
+  return 0;
+}

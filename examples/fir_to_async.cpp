@@ -1,0 +1,51 @@
+// Domain example: a DSP datapath (transposed FIR filter) taken from a
+// synchronous design to a self-timed one, with waveforms and a functional
+// check that the filter still filters.
+#include <cstdio>
+#include <fstream>
+
+#include "circuits/circuits.h"
+#include "core/desynchronizer.h"
+#include "netlist/query.h"
+#include "sim/vcd.h"
+#include "verif/flow_equivalence.h"
+
+using namespace desyn;
+using cell::Tech;
+
+int main() {
+  const Tech& tech = Tech::generic90();
+  circuits::Circuit c = circuits::fir_filter(8, 12);
+  printf("FIR(8 taps, 12-bit): %s\n",
+         nl::stats(c.netlist, tech).to_string().c_str());
+
+  // A square-wave input: both implementations must produce the same
+  // register streams (which include the accumulator chain = the output).
+  verif::Stimulus square = [](int round, size_t bit) {
+    if (bit != 0) return cell::V::V0;  // LSB carries the signal
+    return (round / 4) % 2 ? cell::V::V1 : cell::V::V0;
+  };
+  verif::FlowEqOptions opt;
+  opt.rounds = 40;
+  auto eq = verif::check_flow_equivalence(c.netlist, c.clock, square, tech, opt);
+  printf("flow equivalence under square-wave input: %s\n",
+         eq.equivalent ? "PASS" : eq.mismatch.c_str());
+  printf("throughput: sync %lldps/sample -> self-timed %.0fps/sample\n",
+         static_cast<long long>(eq.sync_period), eq.desync_period);
+  printf("power: sync %.3fmW (clock tree %.3f) -> desync %.3fmW (control %.3f)\n",
+         eq.sync_power_mw, eq.sync_clock_power_mw, eq.desync_power_mw,
+         eq.desync_ctl_power_mw);
+
+  // Waveform of the self-timed accumulator output.
+  flow::DesyncResult dr = flow::desynchronize(c.netlist, c.clock, tech);
+  std::ofstream os("fir_async.vcd");
+  sim::Simulator sim(dr.netlist, tech);
+  std::vector<nl::NetId> watch = dr.ctrl.enables;
+  for (nl::NetId o : dr.netlist.outputs()) watch.push_back(o);
+  sim::VcdWriter vcd(sim, os, watch);
+  sim.run_until(40000);
+  vcd.finish();
+  printf("wrote fir_async.vcd (%llu simulation events)\n",
+         static_cast<unsigned long long>(sim.events_processed()));
+  return eq.equivalent ? 0 : 1;
+}

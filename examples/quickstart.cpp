@@ -1,0 +1,60 @@
+// Quickstart: take a small synchronous circuit through the whole flow.
+//
+//   1. build (or read) a flip-flop netlist
+//   2. desynchronize() — latches + controllers + matched delays
+//   3. verify flow equivalence against the clocked reference
+//   4. inspect the results (Verilog, DOT, VCD)
+#include <cstdio>
+#include <fstream>
+
+#include "circuits/circuits.h"
+#include "core/desynchronizer.h"
+#include "netlist/query.h"
+#include "netlist/writer.h"
+#include "sim/vcd.h"
+#include "verif/flow_equivalence.h"
+
+using namespace desyn;
+using cell::Tech;
+
+int main() {
+  const Tech& tech = Tech::generic90();
+
+  // 1. A 4-stage, 8-bit synchronous pipeline.
+  circuits::Circuit c = circuits::pipeline(4, 8, 2);
+  printf("synchronous netlist: %s\n",
+         nl::stats(c.netlist, tech).to_string().c_str());
+
+  // 2. De-synchronize: replace the clock with handshake controllers.
+  flow::DesyncResult dr = flow::desynchronize(c.netlist, c.clock, tech);
+  printf("desynchronized:      %s\n",
+         nl::stats(dr.netlist, tech).to_string().c_str());
+  printf("control banks: %zu, matched-delay cells: %zu\n",
+         dr.cg.num_banks(), dr.ctrl.delay_units);
+
+  // 3. Flow equivalence: every register stores the same value stream.
+  verif::FlowEqOptions opt;
+  opt.rounds = 30;
+  auto eq = verif::check_flow_equivalence(c.netlist, c.clock,
+                                          verif::random_stimulus(1), tech, opt);
+  printf("flow equivalence: %s (%zu registers, %zu captures)\n",
+         eq.equivalent ? "PASS" : eq.mismatch.c_str(), eq.registers_compared,
+         eq.captures_compared);
+  printf("cycle time: sync %lldps -> desync %.0fps\n",
+         static_cast<long long>(eq.sync_period), eq.desync_period);
+
+  // 4. Artifacts: structural Verilog and a waveform of the controllers.
+  {
+    std::ofstream os("quickstart_desync.v");
+    nl::write_verilog(dr.netlist, os);
+  }
+  {
+    std::ofstream os("quickstart_ctl.vcd");
+    sim::Simulator sim(dr.netlist, tech);
+    sim::VcdWriter vcd(sim, os, dr.ctrl.enables);
+    sim.run_until(20000);
+    vcd.finish();
+  }
+  printf("wrote quickstart_desync.v and quickstart_ctl.vcd\n");
+  return eq.equivalent ? 0 : 1;
+}

@@ -1,0 +1,28 @@
+#include "base/common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace desyn {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "DESYN_ASSERT failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    size_t j = i;
+    while (j < s.size() && !std::isspace(static_cast<unsigned char>(s[j]))) ++j;
+    if (j > i) out.emplace_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace desyn

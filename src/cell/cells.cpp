@@ -1,0 +1,250 @@
+#include "cell/cells.h"
+
+namespace desyn::cell {
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::TieLo: return "TIELO";
+    case Kind::TieHi: return "TIEHI";
+    case Kind::Buf: return "BUF";
+    case Kind::Inv: return "INV";
+    case Kind::Delay: return "DELAY";
+    case Kind::And: return "AND";
+    case Kind::Nand: return "NAND";
+    case Kind::Or: return "OR";
+    case Kind::Nor: return "NOR";
+    case Kind::Xor: return "XOR";
+    case Kind::Xnor: return "XNOR";
+    case Kind::Mux2: return "MUX2";
+    case Kind::Aoi21: return "AOI21";
+    case Kind::Oai21: return "OAI21";
+    case Kind::CElem: return "CELEM";
+    case Kind::Gc: return "GC";
+    case Kind::Latch: return "LATCH";
+    case Kind::LatchN: return "LATCHN";
+    case Kind::Dff: return "DFF";
+    case Kind::Rom: return "ROM";
+    case Kind::Ram: return "RAM";
+  }
+  return "?";
+}
+
+bool is_combinational(Kind k) {
+  switch (k) {
+    case Kind::TieLo:
+    case Kind::TieHi:
+    case Kind::Buf:
+    case Kind::Inv:
+    case Kind::Delay:
+    case Kind::And:
+    case Kind::Nand:
+    case Kind::Or:
+    case Kind::Nor:
+    case Kind::Xor:
+    case Kind::Xnor:
+    case Kind::Mux2:
+    case Kind::Aoi21:
+    case Kind::Oai21:
+    case Kind::Rom:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_storage(Kind k) {
+  return k == Kind::Latch || k == Kind::LatchN || k == Kind::Dff ||
+         k == Kind::Ram;
+}
+
+bool is_state_holding(Kind k) { return k == Kind::CElem || k == Kind::Gc; }
+
+int num_inputs(Kind k, int arity, int p0, int p1) {
+  switch (k) {
+    case Kind::TieLo:
+    case Kind::TieHi:
+      return 0;
+    case Kind::Buf:
+    case Kind::Inv:
+    case Kind::Delay:
+      return 1;
+    case Kind::Xor:
+    case Kind::Xnor:
+    case Kind::Gc:
+      return 2;
+    case Kind::Mux2:
+    case Kind::Aoi21:
+    case Kind::Oai21:
+      return 3;
+    case Kind::And:
+    case Kind::Nand:
+    case Kind::Or:
+    case Kind::Nor:
+    case Kind::CElem:
+      DESYN_ASSERT(arity >= 2 && arity <= kMaxArity);
+      return arity;
+    case Kind::Latch:
+    case Kind::LatchN:
+    case Kind::Dff:
+      return 2;
+    case Kind::Rom:
+      return p0;
+    case Kind::Ram:
+      return 2 + p0 + p1 + p0;  // CK, WE, WA, WD, RA
+  }
+  return 0;
+}
+
+int num_outputs(Kind k, int p0, int p1) {
+  (void)p0;
+  switch (k) {
+    case Kind::Rom:
+    case Kind::Ram:
+      return p1;
+    default:
+      return 1;
+  }
+}
+
+namespace {
+
+// AND over three-valued inputs: 0 dominates, else X dominates, else 1.
+V and_all(std::span<const V> ins) {
+  bool any_x = false;
+  for (V v : ins) {
+    if (v == V::V0) return V::V0;
+    if (v == V::VX) any_x = true;
+  }
+  return any_x ? V::VX : V::V1;
+}
+
+V or_all(std::span<const V> ins) {
+  bool any_x = false;
+  for (V v : ins) {
+    if (v == V::V1) return V::V1;
+    if (v == V::VX) any_x = true;
+  }
+  return any_x ? V::VX : V::V0;
+}
+
+V inv(V v) {
+  if (v == V::VX) return V::VX;
+  return v == V::V0 ? V::V1 : V::V0;
+}
+
+V xor2(V a, V b) {
+  if (a == V::VX || b == V::VX) return V::VX;
+  return from_bool((a == V::V1) != (b == V::V1));
+}
+
+}  // namespace
+
+V eval_comb(Kind k, std::span<const V> ins) {
+  switch (k) {
+    case Kind::TieLo: return V::V0;
+    case Kind::TieHi: return V::V1;
+    case Kind::Buf:
+    case Kind::Delay: return ins[0];
+    case Kind::Inv: return inv(ins[0]);
+    case Kind::And: return and_all(ins);
+    case Kind::Nand: return inv(and_all(ins));
+    case Kind::Or: return or_all(ins);
+    case Kind::Nor: return inv(or_all(ins));
+    case Kind::Xor: return xor2(ins[0], ins[1]);
+    case Kind::Xnor: return inv(xor2(ins[0], ins[1]));
+    case Kind::Mux2: {
+      V s = ins[2];
+      if (s == V::V0) return ins[0];
+      if (s == V::V1) return ins[1];
+      // Unknown select: output known only if both data inputs agree.
+      return ins[0] == ins[1] ? ins[0] : V::VX;
+    }
+    case Kind::Aoi21: {
+      V ab[2] = {ins[0], ins[1]};
+      V t[2] = {and_all(ab), ins[2]};
+      return inv(or_all(t));
+    }
+    case Kind::Oai21: {
+      V ab[2] = {ins[0], ins[1]};
+      V t[2] = {or_all(ab), ins[2]};
+      return inv(and_all(t));
+    }
+    default:
+      DESYN_ASSERT(false, "eval_comb on non-combinational cell ",
+                   kind_name(k));
+  }
+}
+
+V eval_state_holding(Kind k, std::span<const V> ins, V prev) {
+  if (k == Kind::CElem) {
+    bool all1 = true, all0 = true;
+    for (V v : ins) {
+      if (v != V::V1) all1 = false;
+      if (v != V::V0) all0 = false;
+    }
+    if (all1) return V::V1;
+    if (all0) return V::V0;
+    return prev;
+  }
+  DESYN_ASSERT(k == Kind::Gc);
+  V s = ins[0], r = ins[1];
+  if (s == V::V1 && r == V::V1) return V::VX;  // set/reset conflict: hazard
+  if (s == V::V1) return V::V1;
+  if (r == V::V1) return V::V0;
+  if (s == V::VX || r == V::VX) return prev == V::VX ? V::VX : prev;
+  return prev;
+}
+
+std::string input_pin_name(Kind k, int i, int p0, int p1) {
+  switch (k) {
+    case Kind::Buf:
+    case Kind::Inv:
+    case Kind::Delay:
+      return "A";
+    case Kind::Mux2:
+      return i == 0 ? "A" : (i == 1 ? "B" : "S");
+    case Kind::Aoi21:
+    case Kind::Oai21:
+      return std::string(1, static_cast<char>('A' + i));
+    case Kind::Gc:
+      return i == 0 ? "S" : "R";
+    case Kind::Latch:
+    case Kind::LatchN:
+      return i == 0 ? "D" : "EN";
+    case Kind::Dff:
+      return i == 0 ? "D" : "CK";
+    case Kind::Rom:
+      return cat("A", i);
+    case Kind::Ram: {
+      if (i == 0) return "CK";
+      if (i == 1) return "WE";
+      i -= 2;
+      if (i < p0) return cat("WA", i);
+      i -= p0;
+      if (i < p1) return cat("WD", i);
+      i -= p1;
+      return cat("RA", i);
+    }
+    default:
+      return cat("A", i);
+  }
+}
+
+std::string output_pin_name(Kind k, int o, int p0, int p1) {
+  (void)p0;
+  (void)p1;
+  switch (k) {
+    case Kind::Latch:
+    case Kind::LatchN:
+    case Kind::Dff:
+      return "Q";
+    case Kind::Rom:
+      return cat("D", o);
+    case Kind::Ram:
+      return cat("RD", o);
+    default:
+      return o == 0 ? "Y" : cat("Y", o);
+  }
+}
+
+}  // namespace desyn::cell

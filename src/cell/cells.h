@@ -1,0 +1,81 @@
+// Cell kinds and logic evaluation.
+//
+// The library is deliberately small but covers everything the
+// desynchronization flow needs: a standard combinational family, the
+// asynchronous-control primitives (Muller C-element, generalized C), level
+// latches of both polarities, D flip-flops, tie cells, an explicit DELAY
+// buffer used to build matched-delay lines, and behavioral ROM/RAM macros
+// (the equivalent of the SRAM macros a commercial flow would place).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/common.h"
+
+namespace desyn::cell {
+
+enum class Kind : uint8_t {
+  TieLo,   // -> Y = 0
+  TieHi,   // -> Y = 1
+  Buf,     // A -> Y
+  Inv,     // A -> Y
+  Delay,   // A -> Y   (a buffer with a deliberately long, well-known delay)
+  And,     // A0..A{n-1} -> Y, 2 <= n <= 8
+  Nand,    // "
+  Or,      // "
+  Nor,     // "
+  Xor,     // A0,A1 -> Y
+  Xnor,    // A0,A1 -> Y
+  Mux2,    // A,B,S -> Y = S ? B : A
+  Aoi21,   // A,B,C -> Y = !((A&B)|C)
+  Oai21,   // A,B,C -> Y = !((A|B)&C)
+  CElem,   // A0..A{n-1} -> Y: rises when all 1, falls when all 0, else holds
+  Gc,      // S,R -> Y: rises on S, falls on R, holds otherwise (set/reset
+           //            simultaneously asserted is a protocol hazard -> X)
+  Latch,   // D,EN -> Q: transparent when EN=1
+  LatchN,  // D,EN -> Q: transparent when EN=0
+  Dff,     // D,CK -> Q: rising edge
+  Rom,     // A0..A{p0-1} -> D0..D{p1-1}; combinational; payload = contents
+  Ram,     // CK,WE,WA..,WD..,RA.. -> RD..; async read, sync write on CK rise
+};
+
+constexpr int kMaxArity = 8;
+
+/// Three-valued logic. X models unknown/uninitialized state.
+enum class V : uint8_t { V0 = 0, V1 = 1, VX = 2 };
+
+inline V from_bool(bool b) { return b ? V::V1 : V::V0; }
+inline char to_char(V v) { return v == V::V0 ? '0' : (v == V::V1 ? '1' : 'x'); }
+
+const char* kind_name(Kind k);
+
+/// True for cells whose output depends only on current inputs.
+bool is_combinational(Kind k);
+/// True for cells with internal state updated by the simulator (latches,
+/// flip-flops, RAM write port).
+bool is_storage(Kind k);
+/// True for C-elements / gC whose next output depends on the previous output.
+bool is_state_holding(Kind k);
+/// Latch of either polarity.
+inline bool is_latch(Kind k) { return k == Kind::Latch || k == Kind::LatchN; }
+
+/// Number of inputs a cell of kind `k` with parameters (p0, p1) has; for
+/// variable-arity kinds `arity` is the instance arity.
+int num_inputs(Kind k, int arity, int p0 = 0, int p1 = 0);
+/// Number of outputs (1 except for memories).
+int num_outputs(Kind k, int p0 = 0, int p1 = 0);
+
+/// Evaluate a purely combinational cell. `ins.size()` defines the arity.
+V eval_comb(Kind k, std::span<const V> ins);
+
+/// Evaluate a state-holding control cell (CElem/Gc) given its previous output.
+V eval_state_holding(Kind k, std::span<const V> ins, V prev);
+
+/// Human-readable pin name for the writer (input index `i` or output `o`).
+std::string input_pin_name(Kind k, int i, int p0 = 0, int p1 = 0);
+std::string output_pin_name(Kind k, int o, int p0 = 0, int p1 = 0);
+
+}  // namespace desyn::cell

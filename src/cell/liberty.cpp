@@ -1,0 +1,195 @@
+#include "cell/liberty.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+
+namespace desyn::cell {
+
+namespace {
+
+/// Whitespace/brace tokenizer with '#' line comments.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  std::optional<std::string> next() {
+    skip_space();
+    if (pos_ >= text_.size()) return std::nullopt;
+    char c = text_[pos_];
+    if (c == '{' || c == '}') {
+      ++pos_;
+      return std::string(1, c);
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() && !std::isspace(uc(text_[pos_])) &&
+           text_[pos_] != '{' && text_[pos_] != '}' && text_[pos_] != '#') {
+      ++pos_;
+    }
+    DESYN_ASSERT(pos_ > start);
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string expect() {
+    auto t = next();
+    if (!t) fail("liberty: unexpected end of input");
+    return *t;
+  }
+
+  double expect_number() {
+    std::string t = expect();
+    try {
+      size_t used = 0;
+      double v = std::stod(t, &used);
+      if (used != t.size()) fail("liberty: bad number '", t, "'");
+      return v;
+    } catch (const std::logic_error&) {
+      fail("liberty: bad number '", t, "'");
+    }
+  }
+
+ private:
+  static unsigned char uc(char c) { return static_cast<unsigned char>(c); }
+  void skip_space() {
+    while (pos_ < text_.size()) {
+      if (std::isspace(uc(text_[pos_]))) {
+        ++pos_;
+      } else if (text_[pos_] == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+const std::map<std::string, Kind>& kind_by_name() {
+  static const std::map<std::string, Kind> m = [] {
+    std::map<std::string, Kind> r;
+    for (int i = 0; i <= static_cast<int>(Kind::Ram); ++i) {
+      Kind k = static_cast<Kind>(i);
+      r[kind_name(k)] = k;
+    }
+    return r;
+  }();
+  return m;
+}
+
+CellSpec parse_cell_body(Lexer& lex) {
+  CellSpec s;
+  if (lex.expect() != "{") fail("liberty: expected '{' after cell name");
+  for (;;) {
+    std::string key = lex.expect();
+    if (key == "}") break;
+    double v = lex.expect_number();
+    if (key == "delay") {
+      s.delay = static_cast<Ps>(v);
+    } else if (key == "per_input") {
+      s.per_input = static_cast<Ps>(v);
+    } else if (key == "area") {
+      s.area = v;
+    } else if (key == "area_per_input") {
+      s.area_per_input = v;
+    } else if (key == "cap") {
+      s.input_cap = v;
+    } else if (key == "energy") {
+      s.energy = v;
+    } else if (key == "clock_energy") {
+      s.clock_energy = v;
+    } else {
+      fail("liberty: unknown cell attribute '", key, "'");
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+Tech parse_liberty(std::string_view text) {
+  Lexer lex(text);
+  if (lex.expect() != "library") fail("liberty: expected 'library'");
+  Tech tech;
+  tech.name_ = lex.expect();
+  if (lex.expect() != "{") fail("liberty: expected '{'");
+
+  std::array<bool, 21> seen{};
+  for (;;) {
+    std::string key = lex.expect();
+    if (key == "}") break;
+    if (key == "cell") {
+      std::string cname = lex.expect();
+      auto it = kind_by_name().find(cname);
+      if (it == kind_by_name().end()) fail("liberty: unknown cell '", cname, "'");
+      size_t idx = static_cast<size_t>(it->second);
+      if (seen[idx]) fail("liberty: duplicate cell '", cname, "'");
+      seen[idx] = true;
+      tech.specs_[idx] = parse_cell_body(lex);
+    } else if (key == "voltage") {
+      tech.voltage_ = lex.expect_number();
+    } else if (key == "wire_cap_per_fanout") {
+      tech.wire_cap_per_fanout_ = lex.expect_number();
+    } else if (key == "global_wire_factor") {
+      tech.global_wire_factor_ = lex.expect_number();
+    } else if (key == "load_ps_per_fanout") {
+      tech.load_ps_per_fanout_ = static_cast<Ps>(lex.expect_number());
+    } else if (key == "setup_ff") {
+      tech.dff_setup_ = static_cast<Ps>(lex.expect_number());
+    } else if (key == "setup_latch") {
+      tech.latch_setup_ = static_cast<Ps>(lex.expect_number());
+    } else {
+      fail("liberty: unknown library attribute '", key, "'");
+    }
+  }
+  for (size_t i = 0; i < seen.size(); ++i) {
+    if (!seen[i]) {
+      fail("liberty: library '", tech.name_, "' is missing cell '",
+           kind_name(static_cast<Kind>(i)), "'");
+    }
+  }
+  return tech;
+}
+
+std::string_view generic90_liberty_text() {
+  // A generic 90nm-class library. DELAY is the matched-delay quantum; its
+  // area/energy are those of two cascaded buffers, which is how such cells
+  // are typically laid out.
+  return R"(
+library generic90 {
+  voltage 1.0
+  wire_cap_per_fanout 1.8
+  global_wire_factor 2.0
+  load_ps_per_fanout 3
+  setup_ff 45
+  setup_latch 30
+  cell TIELO  { delay 0   area 2.2  cap 0.0 energy 0.0 }
+  cell TIEHI  { delay 0   area 2.2  cap 0.0 energy 0.0 }
+  cell BUF    { delay 30  area 5.8  cap 1.5 energy 1.2 }
+  cell INV    { delay 18  area 4.4  cap 1.4 energy 1.0 }
+  cell DELAY  { delay 120 area 11.6 cap 1.5 energy 2.4 }
+  cell AND    { delay 35 per_input 8  area 7.3 area_per_input 1.8 cap 1.6 energy 1.5 }
+  cell NAND   { delay 28 per_input 8  area 5.8 area_per_input 1.6 cap 1.6 energy 1.3 }
+  cell OR     { delay 36 per_input 9  area 7.3 area_per_input 1.8 cap 1.6 energy 1.5 }
+  cell NOR    { delay 30 per_input 9  area 5.8 area_per_input 1.6 cap 1.6 energy 1.3 }
+  cell XOR    { delay 45  area 11.7 cap 1.9 energy 2.1 }
+  cell XNOR   { delay 45  area 11.7 cap 1.9 energy 2.1 }
+  cell MUX2   { delay 42  area 10.2 cap 1.7 energy 1.9 }
+  cell AOI21  { delay 33  area 7.3  cap 1.6 energy 1.4 }
+  cell OAI21  { delay 33  area 7.3  cap 1.6 energy 1.4 }
+  cell CELEM  { delay 55 per_input 10 area 13.1 area_per_input 2.4 cap 1.8 energy 2.4 }
+  cell GC     { delay 50  area 11.7 cap 1.8 energy 2.2 }
+  # A DFF is internally a master/slave latch pair: its clock pin drives two
+  # latch clock networks, so it carries twice the EN-pin capacitance and
+  # twice the internal clock energy of a single level-sensitive latch.
+  cell LATCH  { delay 65  area 16.0 cap 1.0 energy 2.6 clock_energy 1.3 }
+  cell LATCHN { delay 65  area 16.0 cap 1.0 energy 2.6 clock_energy 1.3 }
+  cell DFF    { delay 95  area 32.1 cap 2.0 energy 4.4 clock_energy 2.6 }
+  # Memory macros: `area` is per bit.
+  cell ROM    { delay 180 area 0.35 cap 1.8 energy 6.0 }
+  cell RAM    { delay 220 area 1.50 cap 1.8 energy 9.0 clock_energy 6.0 }
+}
+)";
+}
+
+}  // namespace desyn::cell

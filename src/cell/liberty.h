@@ -1,0 +1,29 @@
+// Liberty-lite: a minimal text format for technology libraries.
+//
+//   library <name> {
+//     voltage 1.0
+//     wire_cap_per_fanout 1.8
+//     load_ps_per_fanout 3
+//     setup_ff 45
+//     setup_latch 30
+//     cell INV { delay 18 area 4.4 cap 1.4 energy 1.0 }
+//     cell AND { delay 35 per_input 8 area 7.3 area_per_input 1.8 ... }
+//     ...
+//   }
+//
+// Unknown keys are rejected; every cell kind must be defined exactly once.
+#pragma once
+
+#include <string_view>
+
+#include "cell/tech.h"
+
+namespace desyn::cell {
+
+/// Parse a liberty-lite description. Throws desyn::Error on malformed input.
+Tech parse_liberty(std::string_view text);
+
+/// The embedded source of the built-in generic90 library.
+std::string_view generic90_liberty_text();
+
+}  // namespace desyn::cell

@@ -1,0 +1,34 @@
+#include "cell/tech.h"
+
+#include <cmath>
+
+#include "cell/liberty.h"
+
+namespace desyn::cell {
+
+const Tech& Tech::generic90() {
+  static const Tech tech = parse_liberty(generic90_liberty_text());
+  return tech;
+}
+
+Ps Tech::delay(Kind k, int arity, int fanout) const {
+  const CellSpec& s = spec(k);
+  Ps d = s.delay;
+  if (arity > 2) d += s.per_input * (arity - 2);
+  if (fanout > 1) d += load_ps_per_fanout_ * (fanout - 1);
+  return d;
+}
+
+Um2 Tech::area(Kind k, int arity, int p0, int p1) const {
+  const CellSpec& s = spec(k);
+  if (k == Kind::Rom || k == Kind::Ram) {
+    // Macro area scales with the bit count; `area` is the per-bit figure.
+    double bits = std::ldexp(static_cast<double>(p1), p0);  // 2^p0 * p1
+    return s.area * bits;
+  }
+  Um2 a = s.area;
+  if (arity > 2) a += s.area_per_input * (arity - 2);
+  return a;
+}
+
+}  // namespace desyn::cell

@@ -1,0 +1,82 @@
+// Technology data: per-cell timing, area, capacitance and energy, plus the
+// handful of library-level constants (voltage, wireload, setup margins) the
+// flow and the analyses need.
+//
+// Absolute numbers are those of a generic 90 nm-class standard-cell library;
+// the paper's comparison is *relative* (sync vs. desynchronized under the
+// same models), so the shape of the results does not depend on them.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "cell/cells.h"
+
+namespace desyn::cell {
+
+struct CellSpec {
+  Ps delay = 0;          ///< intrinsic propagation delay (any pin -> output)
+  Ps per_input = 0;      ///< extra delay per input beyond the 2nd
+  Um2 area = 0;          ///< base cell area (per-bit for memory macros)
+  Um2 area_per_input = 0;///< extra area per input beyond the 2nd
+  Ff input_cap = 0;      ///< capacitance of each input pin
+  double energy = 0;     ///< internal energy per output transition, fJ
+  double clock_energy = 0;  ///< storage cells: internal energy per CK/EN
+                            ///< transition (burned even when D is idle), fJ
+};
+
+/// Immutable technology library. Construct via `generic90()` or by parsing a
+/// liberty-lite description with `parse_liberty()` (see liberty.h).
+class Tech {
+ public:
+  /// The built-in library (parsed from an embedded liberty-lite description,
+  /// so the parser is exercised on every construction).
+  static const Tech& generic90();
+
+  const std::string& name() const { return name_; }
+  double voltage() const { return voltage_; }
+
+  const CellSpec& spec(Kind k) const {
+    return specs_[static_cast<size_t>(k)];
+  }
+
+  /// Instance propagation delay: intrinsic + arity scaling + load term.
+  /// Both STA and the event simulator use exactly this function, so analytic
+  /// and simulated timing agree by construction.
+  Ps delay(Kind k, int arity, int fanout) const;
+
+  /// Instance area; memory macros scale with their bit count.
+  Um2 area(Kind k, int arity, int p0 = 0, int p1 = 0) const;
+
+  Ff input_cap(Kind k) const { return spec(k).input_cap; }
+  /// Fanout-based wireload estimate for one net.
+  Ff wire_cap(int fanout) const {
+    return wire_cap_per_fanout_ * static_cast<double>(fanout);
+  }
+  /// Wireload multiplier for globally routed nets (a chip-spanning clock
+  /// tree vs. local control wiring — the locality the paper exploits).
+  double global_wire_factor() const { return global_wire_factor_; }
+
+  /// Delay of one DELAY cell (the matched-delay line quantum).
+  Ps delay_unit() const { return spec(Kind::Delay).delay; }
+
+  Ps dff_setup() const { return dff_setup_; }
+  Ps latch_setup() const { return latch_setup_; }
+  /// Extra delay per unit of fanout load, ps per fanout (part of delay()).
+  Ps load_ps_per_fanout() const { return load_ps_per_fanout_; }
+
+ private:
+  friend Tech parse_liberty(std::string_view text);
+
+  std::string name_;
+  double voltage_ = 1.0;
+  Ff wire_cap_per_fanout_ = 1.8;
+  double global_wire_factor_ = 2.0;
+  Ps load_ps_per_fanout_ = 3;
+  Ps dff_setup_ = 45;
+  Ps latch_setup_ = 30;
+  std::array<CellSpec, 21> specs_{};
+};
+
+}  // namespace desyn::cell

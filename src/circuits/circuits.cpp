@@ -1,0 +1,136 @@
+#include "circuits/circuits.h"
+
+namespace desyn::circuits {
+
+using nl::Builder;
+using nl::NetId;
+using rtl::Bus;
+using rtl::Word;
+
+Circuit pipeline(int stages, int width, int levels) {
+  Circuit c{nl::Netlist(cat("pipe_s", stages, "_w", width, "_l", levels)),
+            nl::NetId()};
+  Builder b(c.netlist);
+  Word w(b);
+  c.clock = b.input("clk");
+  Bus data = w.input("din", width);
+  for (int s = 0; s < stages; ++s) {
+    Bus regd = w.reg(data, c.clock, 0, cat("st", s, ".d"));
+    // Mixing logic: rotate + xor with inverted neighbour, `levels` deep.
+    Bus x = regd;
+    for (int l = 0; l < levels; ++l) {
+      Bus rot;
+      for (int i = 0; i < width; ++i) {
+        rot.push_back(x[static_cast<size_t>((i + 1) % width)]);
+      }
+      x = w.xor_(x, w.not_(rot));
+    }
+    data = x;
+  }
+  w.output(data);
+  return c;
+}
+
+Circuit lfsr(int width) {
+  DESYN_ASSERT(width >= 4);
+  Circuit c{nl::Netlist(cat("lfsr", width)), nl::NetId()};
+  Builder b(c.netlist);
+  Word w(b);
+  c.clock = b.input("clk");
+  // State register with a nonzero reset value.
+  Bus next;
+  for (int i = 0; i < width; ++i) next.push_back(c.netlist.add_net(cat("fb", i)));
+  Bus q = w.reg(next, c.clock, 1, "lfsr.q");
+  NetId out = q.back();
+  // Galois taps at bits 0, 2, 3.
+  for (int i = 0; i < width; ++i) {
+    NetId in = i == 0 ? out : q[static_cast<size_t>(i - 1)];
+    NetId v = (i == 2 || i == 3) ? b.xor_(in, out) : b.buf(in);
+    c.netlist.add_cell(cell::Kind::Buf, "", {v}, {next[static_cast<size_t>(i)]});
+  }
+  w.output(q);
+  return c;
+}
+
+Circuit counter_bank(int counters, int width) {
+  Circuit c{nl::Netlist(cat("counters", counters, "x", width)), nl::NetId()};
+  Builder b(c.netlist);
+  Word w(b);
+  c.clock = b.input("clk");
+  NetId en = b.input("en");
+  for (int k = 0; k < counters; ++k) {
+    Bus next;
+    for (int i = 0; i < width; ++i) {
+      next.push_back(c.netlist.add_net(cat("c", k, "next", i)));
+    }
+    Bus q = w.reg(next, c.clock, static_cast<uint64_t>(k), cat("cnt", k, ".q"));
+    Bus inc = w.add(q, w.zero_extend({en}, width));
+    for (int i = 0; i < width; ++i) {
+      c.netlist.add_cell(cell::Kind::Buf, "", {inc[static_cast<size_t>(i)]},
+                         {next[static_cast<size_t>(i)]});
+    }
+    b.output(q.back());
+  }
+  return c;
+}
+
+Circuit fir_filter(int taps, int width) {
+  Circuit c{nl::Netlist(cat("fir", taps, "_w", width)), nl::NetId()};
+  Builder b(c.netlist);
+  Word w(b);
+  c.clock = b.input("clk");
+  Bus x = w.input("x", width);
+  const int acc_w = width + 4;
+  Bus xin = w.reg(x, c.clock, 0, "in.x");
+  Bus xe = w.zero_extend(xin, acc_w);
+  // Transposed form: acc_k = delay(acc_{k+1}) + c_k * x, c_k in {1,2,3}.
+  Bus acc = w.constant(0, acc_w);
+  for (int t = taps - 1; t >= 0; --t) {
+    Bus coef_term;
+    switch (t % 3) {
+      case 0: coef_term = xe; break;
+      case 1: coef_term = w.shl_const(xe, 1); break;
+      default: coef_term = w.add(xe, w.shl_const(xe, 1)); break;
+    }
+    Bus sum = w.add(acc, coef_term);
+    acc = w.reg(sum, c.clock, 0, cat("tap", t, ".acc"));
+  }
+  w.output(acc);
+  return c;
+}
+
+Circuit crc32() {
+  Circuit c{nl::Netlist("crc32"), nl::NetId()};
+  Builder b(c.netlist);
+  Word w(b);
+  c.clock = b.input("clk");
+  NetId din = b.input("din");
+  Bus next;
+  for (int i = 0; i < 32; ++i) next.push_back(c.netlist.add_net(cat("fb", i)));
+  Bus q = w.reg(next, c.clock, 0xffffffffull, "crc.q");
+  NetId fb = b.xor_(q.back(), din, "crc.fb");
+  const uint32_t poly = 0x04C11DB7u;
+  for (int i = 0; i < 32; ++i) {
+    NetId shifted = i == 0 ? b.lo() : q[static_cast<size_t>(i - 1)];
+    NetId v = (poly >> i) & 1 ? b.xor_(shifted, fb) : b.buf(shifted);
+    c.netlist.add_cell(cell::Kind::Buf, "", {v}, {next[static_cast<size_t>(i)]});
+  }
+  w.output(q);
+  return c;
+}
+
+std::vector<Suite> scaling_suite() {
+  std::vector<Suite> s;
+  s.push_back({"pipe4x8", pipeline(4, 8, 2)});
+  s.push_back({"pipe8x16", pipeline(8, 16, 3)});
+  s.push_back({"pipe16x32", pipeline(16, 32, 4)});
+  s.push_back({"lfsr16", lfsr(16)});
+  s.push_back({"lfsr64", lfsr(64)});
+  s.push_back({"counters4x8", counter_bank(4, 8)});
+  s.push_back({"crc32", crc32()});
+  s.push_back({"fir8x12", fir_filter(8, 12)});
+  s.push_back({"fir16x16", fir_filter(16, 16)});
+  return s;
+}
+
+}  // namespace desyn::circuits

@@ -1,0 +1,40 @@
+// Parametric benchmark circuits: single-clock FF designs exercising the
+// flow at different shapes and sizes (used by tests, benches and examples).
+#pragma once
+
+#include "rtl/bus.h"
+
+namespace desyn::circuits {
+
+struct Circuit {
+  nl::Netlist netlist;
+  nl::NetId clock;
+};
+
+/// Linear pipeline: `stages` register banks of `width` bits separated by
+/// `levels` levels of XOR/INV mixing logic.
+Circuit pipeline(int stages, int width, int levels);
+
+/// Galois LFSR (x^w + x^3 + x^2 + 1-ish taps): a feedback-heavy design.
+Circuit lfsr(int width);
+
+/// Bank of independent `width`-bit up-counters (parallel control domains).
+Circuit counter_bank(int counters, int width);
+
+/// Transposed-form FIR filter with constant power-of-two coefficient sums
+/// (shift-add, no multipliers): `taps` stages over a `width`-bit input.
+Circuit fir_filter(int taps, int width);
+
+/// CRC-32 (Ethernet polynomial) over one input bit per cycle: a dense XOR
+/// feedback structure, the opposite shape of a feed-forward pipeline.
+Circuit crc32();
+
+/// One suite entry for the scaling study.
+struct Suite {
+  std::string name;
+  Circuit circuit;
+};
+/// The circuit mix used by bench A2 (overhead vs size).
+std::vector<Suite> scaling_suite();
+
+}  // namespace desyn::circuits

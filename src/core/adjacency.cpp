@@ -1,0 +1,143 @@
+#include "core/adjacency.h"
+
+#include <cmath>
+
+#include "sta/sta.h"
+
+namespace desyn::flow {
+
+namespace {
+
+Ps with_margin(Ps delay, double margin) {
+  return static_cast<Ps>(std::ceil(static_cast<double>(delay) * margin));
+}
+
+}  // namespace
+
+AdjacencyResult extract_control_graph(const nl::Netlist& nl,
+                                      const LatchifyResult& lr,
+                                      nl::NetId clock,
+                                      const cell::Tech& tech, double margin) {
+  AdjacencyResult res;
+  for (const Bank& b : lr.banks) res.cg.add_bank(b.name, b.even);
+  res.env_snk = res.cg.add_bank("env_snk", true);
+  res.env_src = res.cg.add_bank("env_src", false);
+
+  sta::Sta sta(nl, tech);
+
+  // Destination endpoints per bank: worst arrival over member data pins.
+  auto dest_arrival = [&](const std::vector<Ps>& arr, int bank) -> Ps {
+    const Bank& b = lr.banks[static_cast<size_t>(bank)];
+    Ps worst = sta::kUnreached;
+    for (nl::CellId c : b.latches) {
+      worst = std::max(worst, sta.storage_input_arrival(arr, c));
+    }
+    for (nl::CellId c : b.rams) {
+      worst = std::max(worst, sta.storage_input_arrival(arr, c));
+    }
+    return worst;
+  };
+  auto setup_of = [&](int bank) {
+    const Bank& b = lr.banks[static_cast<size_t>(bank)];
+    return b.rams.empty() ? tech.latch_setup() : tech.dff_setup();
+  };
+
+  // One arrival propagation per source bank.
+  for (size_t s = 0; s < lr.banks.size(); ++s) {
+    const Bank& src = lr.banks[s];
+    std::vector<sta::Source> sources;
+    for (nl::CellId c : src.latches) {
+      // Launch at the latch's propagation delay (enable -> Q).
+      sources.push_back({nl.cell(c).outs[0], sta.cell_delay(c)});
+    }
+    for (nl::CellId c : src.rams) {
+      // Read data launches at the RAM access time (relative to the write
+      // pulse of this odd bank).
+      for (nl::NetId rd : nl.cell(c).outs) {
+        sources.push_back({rd, sta.cell_delay(c)});
+      }
+    }
+    if (sources.empty()) continue;
+    std::vector<Ps> arr = sta.arrivals(sources);
+    for (size_t d = 0; d < lr.banks.size(); ++d) {
+      if (d == s) continue;
+      Ps a = dest_arrival(arr, static_cast<int>(d));
+      if (a == sta::kUnreached) continue;
+      res.cg.add_edge(static_cast<int>(s), static_cast<int>(d),
+                      with_margin(a + setup_of(static_cast<int>(d)), margin));
+    }
+    // Primary outputs observed by the environment sink.
+    Ps po = sta::kUnreached;
+    for (nl::NetId out : nl.outputs()) {
+      po = std::max(po, arr[out.value()]);
+    }
+    if (po != sta::kUnreached && !src.even) {
+      res.cg.add_edge(static_cast<int>(s), res.env_snk, with_margin(po, margin));
+    }
+  }
+
+  // Primary inputs: one propagation from all non-clock PIs.
+  {
+    std::vector<sta::Source> sources;
+    for (nl::NetId in : nl.inputs()) {
+      if (in == clock) continue;
+      sources.push_back({in, 0});
+    }
+    if (!sources.empty()) {
+      std::vector<Ps> arr = sta.arrivals(sources);
+      for (size_t d = 0; d < lr.banks.size(); ++d) {
+        Ps a = dest_arrival(arr, static_cast<int>(d));
+        if (a == sta::kUnreached) continue;
+        res.cg.add_edge(res.env_src, static_cast<int>(d),
+                        with_margin(a + setup_of(static_cast<int>(d)), margin));
+      }
+    }
+  }
+  res.cg.add_edge(res.env_snk, res.env_src, 0);
+
+  // Read-before-write ordering: a RAM's write pulse (odd bank) must follow
+  // the captures of every bank that consumes its read data. Synchronous
+  // circuits get this for free from edge-triggered simultaneity (the
+  // capturing edge samples the pre-write value); the pulse protocol needs
+  // the explicit reverse edge reader -> writer.
+  {
+    std::vector<std::pair<int, int>> ordering;
+    for (size_t s = 0; s < lr.banks.size(); ++s) {
+      if (lr.banks[s].rams.empty() || lr.banks[s].even) continue;
+      for (const auto& e : res.cg.edges()) {
+        if (e.from != static_cast<int>(s)) continue;
+        if (e.to >= static_cast<int>(lr.banks.size())) continue;  // env
+        if (!lr.banks[static_cast<size_t>(e.to)].even) continue;
+        ordering.push_back({e.to, static_cast<int>(s)});
+      }
+    }
+    for (auto [reader, writer] : ordering) {
+      res.cg.add_edge(reader, writer, 0);
+    }
+  }
+
+  // Banks without a predecessor or successor park on the environment so the
+  // controller network stays connected (e.g. registers whose outputs are
+  // unobservable).
+  for (size_t i = 0; i < lr.banks.size(); ++i) {
+    int bank = static_cast<int>(i);
+    if (res.cg.preds(bank).empty()) {
+      if (lr.banks[i].even) {
+        res.cg.add_edge(res.env_src, bank, 0);
+      } else {
+        res.cg.add_edge(res.env_snk, bank, 0);
+      }
+    }
+    if (res.cg.succs(bank).empty()) {
+      if (lr.banks[i].even) {
+        res.cg.add_edge(bank, res.env_src, 0);
+      } else {
+        res.cg.add_edge(bank, res.env_snk, 0);
+      }
+    }
+  }
+  res.cg.validate();
+  return res;
+}
+
+}  // namespace desyn::flow

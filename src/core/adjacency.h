@@ -1,0 +1,34 @@
+// Step 2+3 prerequisites: extract the bank-level control graph of a
+// latchified netlist and size the matched delays from static timing.
+//
+// An edge a->b exists when combinational logic connects bank a's storage
+// outputs to bank b's data inputs; its matched delay is
+//
+//   margin * (worst STA path from a's outputs, launched at the latch
+//             propagation delay, to b's data pins  +  setup)
+//
+// The environment is modeled as a bank pair: env_src (odd) feeds every bank
+// whose input cone reaches a primary input (delay = worst PI path) and
+// env_snk (even) absorbs every bank whose output cone reaches a primary
+// output; env_snk -> env_src closes the loop. This guarantees every bank
+// has a predecessor and a successor, which the controller network requires.
+#pragma once
+
+#include "cell/tech.h"
+#include "core/latchify.h"
+#include "ctl/protocol.h"
+
+namespace desyn::flow {
+
+struct AdjacencyResult {
+  ctl::ControlGraph cg;  ///< banks in LatchifyResult order, then env pair
+  int env_snk = -1;
+  int env_src = -1;
+};
+
+AdjacencyResult extract_control_graph(const nl::Netlist& nl,
+                                      const LatchifyResult& lr,
+                                      nl::NetId clock,
+                                      const cell::Tech& tech, double margin);
+
+}  // namespace desyn::flow

@@ -1,0 +1,77 @@
+#include "core/desynchronizer.h"
+
+#include "core/clocktree.h"
+
+namespace desyn::flow {
+
+DesyncResult desynchronize(const nl::Netlist& ff_netlist, nl::NetId clock,
+                           const cell::Tech& tech, const DesyncOptions& opt) {
+  DESYN_ASSERT(opt.margin >= 1.0, "matched-delay margin must be >= 1");
+  DesyncResult res{ff_netlist, {}, {}, {}, -1, -1};
+  nl::Netlist& nl = res.netlist;
+
+  res.banks = latchify(nl, clock, opt.strategy);
+  AdjacencyResult adj =
+      extract_control_graph(nl, res.banks, clock, tech, opt.margin);
+  res.cg = std::move(adj.cg);
+  res.env_snk = adj.env_snk;
+  res.env_src = adj.env_src;
+
+  nl::Builder b(nl);
+  res.ctrl = ctl::synthesize_controllers(b, res.cg, ctl::Protocol::Pulse, tech);
+
+  // Rewire storage control pins from the clock to the local pulses. The
+  // pulse is transparent-high for every bank, so masters flip LatchN->Latch.
+  for (size_t i = 0; i < res.banks.banks.size(); ++i) {
+    const Bank& bank = res.banks.banks[i];
+    nl::NetId en = res.ctrl.enables[i];
+    for (nl::CellId c : bank.latches) {
+      if (nl.cell(c).kind == cell::Kind::LatchN) {
+        nl.set_kind(c, cell::Kind::Latch);
+      }
+      nl.rewire_input(c, 1, en);  // EN pin
+    }
+    for (nl::CellId c : bank.rams) {
+      nl.rewire_input(c, 0, en);  // CK pin: write on this bank's pulse
+    }
+    // High-fanout enables get a distribution tree so no buffer stage's
+    // loaded delay approaches the pulse width (inertial swallowing).
+    if (nl.net(en).fanout.size() > 8) {
+      ClockTree tree = build_clock_tree(nl, en, tech, 8);
+      for (nl::NetId n : tree.nets) res.ctrl.control_nets.push_back(n);
+      for (nl::CellId c : tree.buffers) res.ctrl.cells.push_back(c);
+    }
+  }
+  nl.check();
+  return res;
+}
+
+pn::MarkedGraph timed_control_model(const DesyncResult& r,
+                                    const cell::Tech& tech) {
+  // Mirror the hardware line sizing: per-destination aggregation, response
+  // credit, quantization to whole DELAY cells (minimum one).
+  const Ps unit = tech.delay_unit();
+  const Ps credit = ctl::controller_response_credit(tech);
+  std::vector<Ps> worst(r.cg.num_banks(), 0);
+  for (const auto& e : r.cg.edges()) {
+    worst[static_cast<size_t>(e.to)] =
+        std::max(worst[static_cast<size_t>(e.to)], e.matched_delay);
+  }
+  ctl::ControlGraph q;
+  for (size_t i = 0; i < r.cg.num_banks(); ++i) {
+    q.add_bank(r.cg.bank(static_cast<int>(i)).name,
+               r.cg.bank(static_cast<int>(i)).even);
+  }
+  for (const auto& e : r.cg.edges()) {
+    Ps cells = std::max<Ps>(
+        1, (std::max<Ps>(0, worst[static_cast<size_t>(e.to)] - credit) +
+            unit - 1) /
+               unit);
+    q.add_edge(e.from, e.to, cells * unit);
+  }
+  Ps ctrl = tech.delay(cell::Kind::Inv, 1, 1) +
+            tech.delay(cell::Kind::CElem, 2, 2);
+  return ctl::protocol_mg(q, ctl::Protocol::Pulse, ctrl, r.ctrl.pulse_width);
+}
+
+}  // namespace desyn::flow

@@ -1,0 +1,54 @@
+// The end-to-end de-synchronization flow (the paper's contribution):
+//
+//   synchronous FF netlist
+//     -> latch-based conversion            (latchify)
+//     -> bank adjacency + matched delays   (adjacency, STA-sized)
+//     -> handshake controller network      (ctl, Pulse protocol)
+//     -> clock pins rewired to local latch enables; the global clock net
+//        is left without load (the clock tree is simply never built).
+//
+// The result is flow-equivalent to the synchronous circuit: the i-th value
+// captured by every (master) latch equals the i-th value captured by the
+// corresponding flip-flop (verified by desyn::verif).
+#pragma once
+
+#include "core/adjacency.h"
+#include "core/latchify.h"
+#include "ctl/controller.h"
+
+namespace desyn::flow {
+
+struct DesyncOptions {
+  BankStrategy strategy = BankStrategy::Prefix;
+  /// Safety factor applied to every STA-sized matched delay; plays the role
+  /// of the synchronous flow's clock-uncertainty margin.
+  double margin = 1.10;
+};
+
+struct DesyncResult {
+  nl::Netlist netlist;          ///< the desynchronized circuit
+  LatchifyResult banks;         ///< cell ids valid in `netlist`
+  ctl::ControlGraph cg;         ///< control graph with matched delays
+  ctl::ControllerNetwork ctrl;  ///< enables/round nets in `netlist`
+  int env_snk = -1;
+  int env_src = -1;
+
+  /// Enable net of bank `i` (latch pulse).
+  nl::NetId enable(int bank) const {
+    return ctrl.enables[static_cast<size_t>(bank)];
+  }
+  nl::NetId env_src_enable() const { return enable(env_src); }
+};
+
+/// Run the flow on a copy of `ff_netlist`. Throws on multi-clock designs.
+DesyncResult desynchronize(const nl::Netlist& ff_netlist, nl::NetId clock,
+                           const cell::Tech& tech,
+                           const DesyncOptions& opt = {});
+
+/// The timed protocol model of a desynchronized circuit, ready for
+/// max-cycle-ratio throughput prediction (bench A3). Delays are quantized
+/// exactly as the hardware delay lines are.
+pn::MarkedGraph timed_control_model(const DesyncResult& r,
+                                    const cell::Tech& tech);
+
+}  // namespace desyn::flow

@@ -1,0 +1,101 @@
+#include "core/latchify.h"
+
+#include <algorithm>
+
+namespace desyn::flow {
+
+std::string bank_prefix(const std::string& cell_name) {
+  size_t dot = cell_name.rfind('.');
+  if (dot == std::string::npos || dot == 0) return "core";
+  return cell_name.substr(0, dot);
+}
+
+LatchifyResult latchify(nl::Netlist& nl, nl::NetId clock, BankStrategy s) {
+  LatchifyResult res;
+  std::map<std::string, int> bank_by_key;  // key -> even bank index
+
+  auto bank_pair = [&](const std::string& key) {
+    auto it = bank_by_key.find(key);
+    if (it != bank_by_key.end()) return it->second;
+    int even_idx = static_cast<int>(res.banks.size());
+    res.banks.push_back(Bank{key + ".m", true, {}, {}});
+    res.banks.push_back(Bank{key + ".s", false, {}, {}});
+    bank_by_key[key] = even_idx;
+    return even_idx;
+  };
+  auto key_for = [&](const nl::CellData& cd) -> std::string {
+    switch (s) {
+      case BankStrategy::Prefix: return bank_prefix(cd.name);
+      case BankStrategy::PerFlipFlop: return cd.name;
+      case BankStrategy::Single: return "all";
+    }
+    return "all";
+  };
+
+  // Collect first: we edit the netlist as we go.
+  std::vector<nl::CellId> ffs;
+  std::vector<nl::CellId> rams;
+  for (nl::CellId c : nl.cells()) {
+    const nl::CellData& cd = nl.cell(c);
+    if (cd.kind == cell::Kind::Dff) {
+      DESYN_ASSERT(cd.ins[1] == clock, "FF ", cd.name,
+                   " is clocked by a different net than ",
+                   nl.net(clock).name);
+      ffs.push_back(c);
+    } else if (cd.kind == cell::Kind::Ram) {
+      DESYN_ASSERT(cd.ins[0] == clock, "RAM ", cd.name,
+                   " is clocked by a different net than ",
+                   nl.net(clock).name);
+      rams.push_back(c);
+    }
+  }
+
+  for (nl::CellId c : ffs) {
+    const nl::CellData cd = nl.cell(c);  // copy: remove_cell invalidates view
+    int even_idx = bank_pair(key_for(cd));
+    nl::NetId d = cd.ins[0];
+    nl::NetId q = cd.outs[0];
+    cell::V init = cd.init;
+    std::string name = cd.name;
+    nl.remove_cell(c);
+
+    nl::NetId mid = nl.add_net(name + ".mq");
+    nl::CellId master = nl.add_cell(cell::Kind::LatchN, name + ".m",
+                                    {d, clock}, {mid}, init);
+    nl::CellId slave =
+        nl.add_cell(cell::Kind::Latch, name + ".s", {mid, clock}, {q}, init);
+    res.banks[static_cast<size_t>(even_idx)].latches.push_back(master);
+    res.banks[static_cast<size_t>(even_idx) + 1].latches.push_back(slave);
+    res.ff_map[c] = {master, slave};
+    nl.set_group(master, even_idx);
+    nl.set_group(slave, even_idx + 1);
+  }
+
+  for (nl::CellId c : rams) {
+    // A RAM gets its own bank pair regardless of strategy. Master latches
+    // are inserted on the write-command pins (WE/WA/WD): in the synchronous
+    // reference they are transparent during the low phase and capture at the
+    // writing edge, preserving cycle equivalence; in the desynchronized
+    // circuit they hold the command stable until the write commits on the
+    // slave-side pulse (RAM CK is rewired to the odd bank's enable).
+    const std::string name = nl.cell(c).name;
+    int even_idx = bank_pair(name);
+    const nl::CellData& cd = nl.cell(c);
+    const size_t cmd_end = size_t{2} + cd.p0 + cd.p1;  // WE, WA, WD
+    for (size_t pin = 1; pin < cmd_end; ++pin) {
+      nl::NetId src = nl.cell(c).ins[pin];
+      nl::NetId held = nl.add_net(cat(name, ".m_h", pin));
+      nl::CellId latch = nl.add_cell(cell::Kind::LatchN, cat(name, ".m_p", pin),
+                                     {src, clock}, {held}, cell::V::V0);
+      nl.rewire_input(c, static_cast<uint16_t>(pin), held);
+      res.banks[static_cast<size_t>(even_idx)].latches.push_back(latch);
+      nl.set_group(latch, even_idx);
+    }
+    res.banks[static_cast<size_t>(even_idx) + 1].rams.push_back(c);
+    nl.set_group(c, even_idx + 1);
+  }
+
+  return res;
+}
+
+}  // namespace desyn::flow

@@ -1,0 +1,51 @@
+// Step 1 of de-synchronization (paper Fig. 1a -> 1b): convert every D
+// flip-flop into a master/slave latch pair.
+//
+//   DFF(D, CK -> Q)   ==>   master = LATCHN(D, CK)   (transparent at CK=0)
+//                           slave  = LATCH(m, CK)    (transparent at CK=1)
+//
+// The slave drives the original Q net, so the rest of the netlist is
+// untouched; with EN pins on the global clock the latch-based circuit is
+// cycle-equivalent to the FF-based one. Both latches inherit the flip-flop's
+// initial value.
+//
+// Banks: latches are grouped into control banks (one controller per bank in
+// the desynchronized circuit). RAM macros get a bank pair of their own: the
+// master side owns the write port, the slave side owns the read data.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace desyn::flow {
+
+enum class BankStrategy {
+  Prefix,      ///< group FFs by hierarchical name prefix (up to last '.')
+  PerFlipFlop, ///< one bank pair per flip-flop (finest granularity)
+  Single,      ///< one bank pair for the whole design
+};
+
+struct Bank {
+  std::string name;
+  bool even = false;                 ///< master side (captures like FF edge)
+  std::vector<nl::CellId> latches;   ///< member latch cells
+  std::vector<nl::CellId> rams;      ///< member RAM macros (master side only)
+};
+
+struct LatchifyResult {
+  std::vector<Bank> banks;  ///< even/odd pairs, ordered master-then-slave
+  /// Per original FF: (master cell, slave cell).
+  std::map<nl::CellId, std::pair<nl::CellId, nl::CellId>> ff_map;
+};
+
+/// In-place conversion of every DFF in `nl` clocked by `clock`. FFs clocked
+/// by other nets are rejected (single-clock designs only, as in the paper).
+/// RAM macros clocked by `clock` are assigned their own bank pairs.
+LatchifyResult latchify(nl::Netlist& nl, nl::NetId clock, BankStrategy s);
+
+/// Bank-name prefix of a cell name ("ifid.pc_q3" -> "ifid"; no dot -> "core").
+std::string bank_prefix(const std::string& cell_name);
+
+}  // namespace desyn::flow

@@ -1,0 +1,46 @@
+#include "core/report.h"
+
+#include <iomanip>
+
+#include "netlist/query.h"
+
+namespace desyn::flow {
+
+Um2 total_area(const nl::Netlist& nl, const cell::Tech& tech) {
+  return nl::stats(nl, tech).area;
+}
+
+std::string format_comparison(const ImplReport& sync,
+                              const ImplReport& desync) {
+  std::ostringstream os;
+  auto pct = [](double a, double b) {
+    if (a == 0) return 0.0;
+    return 100.0 * (b - a) / a;
+  };
+  os << std::fixed;
+  os << "                         " << std::setw(14) << sync.name
+     << std::setw(16) << desync.name << std::setw(10) << "delta\n";
+  os << "  Cycle Time        " << std::setw(15) << std::setprecision(2)
+     << static_cast<double>(sync.cycle_time) / 1000.0 << "ns" << std::setw(14)
+     << static_cast<double>(desync.cycle_time) / 1000.0 << "ns" << std::setw(8)
+     << std::setprecision(1)
+     << pct(static_cast<double>(sync.cycle_time),
+            static_cast<double>(desync.cycle_time))
+     << "%\n";
+  os << "  Dyn. Power Cons.  " << std::setw(15) << std::setprecision(2)
+     << sync.power_mw << "mW" << std::setw(14) << desync.power_mw << "mW"
+     << std::setw(8) << std::setprecision(1)
+     << pct(sync.power_mw, desync.power_mw) << "%\n";
+  os << "    of which clock/ctl " << std::setw(12) << std::setprecision(2)
+     << sync.clock_power_mw << "mW" << std::setw(14) << desync.clock_power_mw
+     << "mW\n";
+  os << "  Area              " << std::setw(14) << std::setprecision(0)
+     << sync.area << "um2" << std::setw(13) << desync.area << "um2"
+     << std::setw(8) << std::setprecision(1) << pct(sync.area, desync.area)
+     << "%\n";
+  os << "  Cells             " << std::setw(17) << sync.cells << std::setw(16)
+     << desync.cells << "\n";
+  return os.str();
+}
+
+}  // namespace desyn::flow

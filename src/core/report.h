@@ -1,0 +1,28 @@
+// Implementation reports and the paper-style comparison table.
+#pragma once
+
+#include <string>
+
+#include "cell/tech.h"
+#include "netlist/netlist.h"
+
+namespace desyn::flow {
+
+/// One implementation's headline numbers (one column of Table 1).
+struct ImplReport {
+  std::string name;
+  Ps cycle_time = 0;          ///< ps
+  double power_mw = 0;        ///< total dynamic power
+  double clock_power_mw = 0;  ///< clock tree / control network share
+  Um2 area = 0;
+  size_t cells = 0;
+};
+
+/// Total cell area of a netlist under `tech`.
+Um2 total_area(const nl::Netlist& nl, const cell::Tech& tech);
+
+/// Render a Table-1-style comparison (rows: cycle time, dynamic power,
+/// area; columns: the given implementations) with relative overheads.
+std::string format_comparison(const ImplReport& sync, const ImplReport& desync);
+
+}  // namespace desyn::flow

@@ -1,0 +1,32 @@
+#include "ctl/conformance.h"
+
+#include "pn/analysis.h"
+
+namespace desyn::ctl {
+
+TraceRecorder::TraceRecorder(sim::Simulator& sim, const ControlGraph& cg,
+                             std::span<const nl::NetId> enables) {
+  DESYN_ASSERT(enables.size() == cg.num_banks());
+  for (size_t i = 0; i < enables.size(); ++i) {
+    int bank = static_cast<int>(i);
+    sim.watch(enables[i], [this, bank](Ps at, sim::V v) {
+      if (v == sim::V::VX) return;
+      trace_.push_back(BankEvent{at, bank, v == sim::V::V1});
+    });
+  }
+}
+
+long check_conformance(const ControlGraph& cg, Protocol p,
+                       std::span<const BankEvent> trace) {
+  pn::MarkedGraph mg = protocol_mg(cg, p);
+  auto bt = bank_transitions(mg, cg);
+  std::vector<pn::TransId> seq;
+  seq.reserve(trace.size());
+  for (const BankEvent& ev : trace) {
+    seq.push_back(ev.plus ? bt[static_cast<size_t>(ev.bank)].plus
+                          : bt[static_cast<size_t>(ev.bank)].minus);
+  }
+  return pn::admits_sequence(mg, seq);
+}
+
+}  // namespace desyn::ctl

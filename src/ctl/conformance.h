@@ -1,0 +1,39 @@
+// Conformance checking: does the gate-level controller network behave as a
+// firing sequence of its protocol marked graph?
+//
+// A TraceRecorder watches the bank-enable nets during simulation; each
+// 0->1 / 1->0 transition of bank b is the event b+ / b-. After the run,
+// check_conformance() replays the recorded trace through the protocol MG's
+// token game; any disabled firing is a conformance violation.
+#pragma once
+
+#include "ctl/controller.h"
+#include "sim/sim.h"
+
+namespace desyn::ctl {
+
+struct BankEvent {
+  Ps at = 0;
+  int bank = 0;
+  bool plus = false;  ///< true: enable rose (bank became transparent)
+};
+
+class TraceRecorder {
+ public:
+  /// Registers watchers on every bank enable. Must be constructed before
+  /// the simulation run it should observe.
+  TraceRecorder(sim::Simulator& sim, const ControlGraph& cg,
+                std::span<const nl::NetId> enables);
+
+  const std::vector<BankEvent>& trace() const { return trace_; }
+
+ private:
+  std::vector<BankEvent> trace_;
+};
+
+/// Replay `trace` on the protocol MG for (cg, p). Returns the index of the
+/// first non-admissible event, or -1 if the whole trace conforms.
+long check_conformance(const ControlGraph& cg, Protocol p,
+                       std::span<const BankEvent> trace);
+
+}  // namespace desyn::ctl

@@ -1,0 +1,181 @@
+#include "ctl/controller.h"
+
+#include <algorithm>
+
+namespace desyn::ctl {
+
+namespace {
+
+/// Reduce `inputs` to at most kMaxArity with a C-element tree. Inputs move
+/// monotonically between consecutive rendezvous (each toggles exactly once
+/// per round), so a tree of C-elements implements the same join as one wide
+/// C-element, with latency the matched-delay margin absorbs.
+std::vector<nl::NetId> celem_tree(nl::Netlist& nl, ControllerNetwork& net,
+                                  std::vector<nl::NetId> inputs,
+                                  const std::string& bank_name, cell::V init) {
+  int level = 0;
+  while (static_cast<int>(inputs.size()) > cell::kMaxArity) {
+    std::vector<nl::NetId> next;
+    for (size_t k = 0; k < inputs.size(); k += cell::kMaxArity) {
+      size_t n = std::min<size_t>(cell::kMaxArity, inputs.size() - k);
+      if (n == 1) {
+        next.push_back(inputs[k]);
+        continue;
+      }
+      nl::NetId join =
+          nl.add_net(cat("ctl.", bank_name, ".join", level, "_",
+                         k / cell::kMaxArity));
+      nl::CellId jc = nl.add_cell(
+          cell::Kind::CElem, "",
+          std::vector<nl::NetId>(inputs.begin() + static_cast<long>(k),
+                                 inputs.begin() + static_cast<long>(k + n)),
+          {join}, init);
+      net.cells.push_back(jc);
+      net.control_nets.push_back(join);
+      next.push_back(join);
+    }
+    inputs = std::move(next);
+    ++level;
+  }
+  return inputs;
+}
+
+}  // namespace
+
+Ps controller_response_credit(const cell::Tech& tech) {
+  // A request travels line -> (inverter) -> C-element -> pulse XOR before
+  // the capture edge, while the producer's data left its latch right after
+  // its own pulse XOR; these stages are part of the matched path.
+  return tech.delay(cell::Kind::Inv, 1, 1) +
+         tech.delay(cell::Kind::CElem, 2, 2) +
+         tech.delay(cell::Kind::Xor, 2, 1);
+}
+
+ControllerNetwork synthesize_controllers(nl::Builder& b,
+                                         const ControlGraph& cg, Protocol p,
+                                         const cell::Tech& tech) {
+  if (p != Protocol::Pulse) {
+    fail("gate-level controllers are implemented for the pulse protocol; ",
+         protocol_name(p),
+         " is available as an analysis model (protocol_mg)");
+  }
+  cg.validate();
+  nl::Netlist& nl = b.netlist();
+  ControllerNetwork net;
+
+  // Pre-create round nets so cross references resolve in any bank order.
+  for (size_t i = 0; i < cg.num_banks(); ++i) {
+    nl::NetId r = nl.add_net(cat("ctl.", cg.bank(static_cast<int>(i)).name, ".r"));
+    net.rounds.push_back(r);
+    net.control_nets.push_back(r);
+  }
+
+  const Ps unit = tech.delay_unit();
+  DESYN_ASSERT(unit > 0);
+
+  const Ps response_credit = controller_response_credit(tech);
+
+  for (size_t i = 0; i < cg.num_banks(); ++i) {
+    const int bank = static_cast<int>(i);
+    const std::string& bname = cg.bank(bank).name;
+    const bool even = cg.bank(bank).even;
+    const cell::V init = even ? cell::V::V1 : cell::V::V0;
+
+    // Predecessor round tokens: join first (C-element tree), then one
+    // shared matched-delay line per bank sized to the worst incoming edge —
+    // the paper's per-block matched delay.
+    std::vector<nl::NetId> pred_tokens;
+    Ps worst = 0;
+    for (const ControlGraph::Edge& e : cg.edges()) {
+      if (e.to != bank) continue;
+      pred_tokens.push_back(net.rounds[static_cast<size_t>(e.from)]);
+      worst = std::max(worst, e.matched_delay);
+    }
+    std::vector<nl::NetId> inputs;
+    if (!pred_tokens.empty()) {
+      // Predecessors of an even bank are odd (round init 0) and vice versa,
+      // so the join's initial value is the opposite parity.
+      cell::V join_init = even ? cell::V::V0 : cell::V::V1;
+      if (pred_tokens.size() > 1) {
+        pred_tokens = celem_tree(nl, net, std::move(pred_tokens), bname + ".req",
+                                 join_init);
+        if (pred_tokens.size() > 1) {
+          nl::NetId j = nl.add_net(cat("ctl.", bname, ".req"));
+          net.cells.push_back(nl.add_cell(cell::Kind::CElem, "", pred_tokens,
+                                          {j}, join_init));
+          net.control_nets.push_back(j);
+          pred_tokens = {j};
+        }
+      }
+      nl::NetId tap = pred_tokens[0];
+      const int units = std::max<int>(
+          1, static_cast<int>(
+                 (std::max<Ps>(0, worst - response_credit) + unit - 1) / unit));
+      for (int k = 0; k < units; ++k) {
+        nl::NetId next = nl.add_net(cat("ctl.", bname, ".d", k));
+        nl::CellId c = nl.add_cell(cell::Kind::Delay, "", {tap}, {next});
+        net.cells.push_back(c);
+        net.control_nets.push_back(next);
+        ++net.delay_units;
+        tap = next;
+      }
+      inputs.push_back(tap);
+    }
+    // Successor round tokens through buffers (spatial wiring).
+    for (const ControlGraph::Edge& e : cg.edges()) {
+      if (e.from != bank) continue;
+      nl::NetId ack =
+          nl.add_net(cat("ctl.", cg.bank(e.to).name, ".ack.to.", bname));
+      nl::CellId bc = nl.add_cell(cell::Kind::Buf, "",
+                                  {net.rounds[static_cast<size_t>(e.to)]}, {ack});
+      net.cells.push_back(bc);
+      net.control_nets.push_back(ack);
+      inputs.push_back(ack);
+    }
+    DESYN_ASSERT(!inputs.empty(), "bank ", bname, " has no control neighbours");
+
+    // Even banks see inverted tokens: their C toggles after the (odd)
+    // neighbours toggled, yielding the strict pairwise alternation.
+    if (even) {
+      std::vector<nl::NetId> inverted;
+      for (nl::NetId in : inputs) {
+        nl::NetId inv = nl.add_net("");
+        nl::CellId ic = nl.add_cell(cell::Kind::Inv, "", {in}, {inv});
+        net.cells.push_back(ic);
+        net.control_nets.push_back(inv);
+        inverted.push_back(inv);
+      }
+      inputs = std::move(inverted);
+    }
+    if (inputs.size() == 1) inputs.push_back(inputs[0]);  // C(a,a): follower
+    inputs = celem_tree(nl, net, std::move(inputs), bname, init);
+    if (inputs.size() == 1) inputs.push_back(inputs[0]);
+
+    nl::CellId c = nl.add_cell(cell::Kind::CElem, cat("ctl.", bname), inputs,
+                               {net.rounds[i]}, init);
+    net.cells.push_back(c);
+
+    // Local pulse generator: La = XOR(R, buf^3(R)) pulses once per toggle;
+    // width = three buffers. The width must exceed the XOR's own loaded
+    // delay (or the pulse is inertially swallowed); the flow additionally
+    // rebuffers high-fanout enables with a distribution tree.
+    nl::NetId d1 = nl.add_net(cat("ctl.", bname, ".p1"));
+    nl::NetId d2 = nl.add_net(cat("ctl.", bname, ".p2"));
+    nl::NetId d3 = nl.add_net(cat("ctl.", bname, ".p3"));
+    nl::NetId en = nl.add_net(cat("ctl.", bname, ".en"));
+    net.cells.push_back(nl.add_cell(cell::Kind::Buf, "", {net.rounds[i]}, {d1}));
+    net.cells.push_back(nl.add_cell(cell::Kind::Buf, "", {d1}, {d2}));
+    net.cells.push_back(nl.add_cell(cell::Kind::Buf, "", {d2}, {d3}));
+    net.cells.push_back(nl.add_cell(cell::Kind::Xor, cat("ctl.", bname, ".pg"),
+                                    {net.rounds[i], d3}, {en}));
+    net.control_nets.push_back(d1);
+    net.control_nets.push_back(d2);
+    net.control_nets.push_back(d3);
+    net.control_nets.push_back(en);
+    net.enables.push_back(en);
+  }
+  net.pulse_width = 3 * tech.spec(cell::Kind::Buf).delay;
+  return net;
+}
+
+}  // namespace desyn::ctl

@@ -1,0 +1,61 @@
+// Gate-level controller synthesis: the Pulse protocol.
+//
+// Each bank gets one Muller C-element carrying a 2-phase *round token*
+// signal R, plus a local pulse generator deriving the latch enable:
+//
+//   R_a = C( wire(R_n) for every neighbour n )      (inverted for even banks)
+//   L_a = XOR(R_a, buf(buf(R_a)))                   (one pulse per toggle)
+//
+// where wire() is a matched-delay line for predecessors (sized to the worst
+// combinational path, >= 1 DELAY cell) and a buffer for successors. Every
+// neighbour pair alternates strictly (each party's next toggle waits for
+// the other's previous one through the opposite wire), so no control wire
+// ever carries a transition that retracts before its consumer used it: the
+// control layer is delay-insensitive in the classical Muller sense. Only
+// the datapath carries timing assumptions (matched delays + pulse width),
+// exactly the engineering contract of matched-delay de-synchronization.
+// This is the local-clock-generation controller family of Varshavsky et
+// al., the paper's reference [5].
+//
+// Even banks start with R=1 and odd banks with R=0; odd banks fire first,
+// capturing the masters' reset data — the Pulse canonical schedule
+// [O+ O- E+ E-]. All latches start opaque; flow equivalence against the
+// synchronous reference is checked by the verif library.
+//
+// The Lockstep/Semi/Fully protocols remain first-class *models*
+// (protocol_mg) for liveness/safety/throughput analysis; see DESIGN.md for
+// why their single-C level-sampled implementations are not robust under
+// unbalanced delays.
+#pragma once
+
+#include "cell/tech.h"
+#include "ctl/protocol.h"
+#include "netlist/builder.h"
+
+namespace desyn::ctl {
+
+struct ControllerNetwork {
+  std::vector<nl::NetId> enables;       ///< per bank: its latch-enable net
+  std::vector<nl::NetId> rounds;        ///< per bank: its round-token net
+  std::vector<nl::NetId> control_nets;  ///< every net the synthesis created
+  std::vector<nl::CellId> cells;        ///< every cell the synthesis created
+  size_t delay_units = 0;               ///< total DELAY cells inserted
+  Ps pulse_width = 0;                   ///< nominal latch pulse width
+};
+
+/// Instantiate Pulse-protocol controllers for `cg` into the netlist behind
+/// `b`. Matched delays are taken from the edges (already margin-adjusted by
+/// the caller), aggregated per destination bank (the paper's per-block
+/// matched delay), credited with the controller's own response time and
+/// quantized to whole DELAY cells (minimum one). Throws for any other
+/// protocol (they are analysis models, not hardware templates).
+ControllerNetwork synthesize_controllers(nl::Builder& b,
+                                         const ControlGraph& cg, Protocol p,
+                                         const cell::Tech& tech);
+
+/// The consumer-side control-path delay (inverter + C-element + pulse XOR)
+/// subtracted from every matched-delay line; exposed so the analytic model
+/// (flow::timed_control_model) sizes lines identically to the hardware.
+Ps controller_response_credit(const cell::Tech& tech);
+
+}  // namespace desyn::ctl

@@ -1,0 +1,179 @@
+#include "ctl/protocol.h"
+
+#include <algorithm>
+
+namespace desyn::ctl {
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::Lockstep: return "lockstep";
+    case Protocol::SemiDecoupled: return "semi-decoupled";
+    case Protocol::FullyDecoupled: return "fully-decoupled";
+    case Protocol::Pulse: return "pulse";
+  }
+  return "?";
+}
+
+int first_fire_index(Protocol p, bool even, bool plus) {
+  if (p == Protocol::Pulse) {
+    // Pulse order: O+ O- E+ E- (banks start opaque; odd pulses first).
+    if (even) return plus ? 2 : 3;
+    return plus ? 0 : 1;
+  }
+  // Synchronous two-phase order: E- O+ O- E+.
+  if (even) return plus ? 3 : 0;
+  return plus ? 1 : 2;
+}
+
+int ControlGraph::add_bank(std::string name, bool even) {
+  banks_.push_back(Bank{std::move(name), even});
+  return static_cast<int>(banks_.size()) - 1;
+}
+
+int ControlGraph::add_edge(int from, int to, Ps matched_delay) {
+  DESYN_ASSERT(from >= 0 && from < static_cast<int>(banks_.size()));
+  DESYN_ASSERT(to >= 0 && to < static_cast<int>(banks_.size()));
+  DESYN_ASSERT(banks_[static_cast<size_t>(from)].even !=
+                   banks_[static_cast<size_t>(to)].even,
+               "control edge must connect banks of opposite parity: ",
+               banks_[static_cast<size_t>(from)].name, " -> ",
+               banks_[static_cast<size_t>(to)].name);
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].from == from && edges_[i].to == to) {
+      edges_[i].matched_delay = std::max(edges_[i].matched_delay, matched_delay);
+      return static_cast<int>(i);
+    }
+  }
+  edges_.push_back(Edge{from, to, matched_delay});
+  return static_cast<int>(edges_.size()) - 1;
+}
+
+std::vector<int> ControlGraph::preds(int bank) const {
+  std::vector<int> out;
+  for (const Edge& e : edges_) {
+    if (e.to == bank) out.push_back(e.from);
+  }
+  return out;
+}
+
+std::vector<int> ControlGraph::succs(int bank) const {
+  std::vector<int> out;
+  for (const Edge& e : edges_) {
+    if (e.from == bank) out.push_back(e.to);
+  }
+  return out;
+}
+
+int ControlGraph::find_bank(std::string_view name) const {
+  for (size_t i = 0; i < banks_.size(); ++i) {
+    if (banks_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void ControlGraph::validate() const {
+  for (const Edge& e : edges_) {
+    DESYN_ASSERT(bank(e.from).even != bank(e.to).even);
+    DESYN_ASSERT(e.matched_delay >= 0);
+  }
+}
+
+pn::MarkedGraph protocol_mg(const ControlGraph& cg, Protocol p,
+                            Ps ctrl_delay, Ps pulse_width) {
+  cg.validate();
+  pn::MarkedGraph mg(cat("ctl_", protocol_name(p)));
+  std::vector<BankTrans> bt;
+  for (size_t i = 0; i < cg.num_banks(); ++i) {
+    BankTrans t;
+    t.plus = mg.add_transition(cg.bank(static_cast<int>(i)).name + "+");
+    t.minus = mg.add_transition(cg.bank(static_cast<int>(i)).name + "-");
+    bt.push_back(t);
+  }
+
+  auto idx = [&](int bank, bool plus) {
+    return first_fire_index(p, cg.bank(bank).even, plus);
+  };
+  // Marked iff the target's first firing precedes the source's.
+  auto marked = [&](int ub, bool up, int vb, bool vp) {
+    return idx(vb, vp) < idx(ub, up) ? 1 : 0;
+  };
+  auto trans = [&](int bank, bool plus) {
+    return plus ? bt[static_cast<size_t>(bank)].plus
+                : bt[static_cast<size_t>(bank)].minus;
+  };
+  auto arc = [&](int ub, bool up, int vb, bool vp, Ps delay) {
+    mg.add_arc(trans(ub, up), trans(vb, vp), marked(ub, up, vb, vp), delay);
+  };
+
+  // Alternation (also the "auxiliary arcs" of Fig. 4 for boundary banks).
+  for (size_t i = 0; i < cg.num_banks(); ++i) {
+    int b = static_cast<int>(i);
+    arc(b, true, b, false, pulse_width);  // a+ -> a-
+    arc(b, false, b, true, 0);            // a- -> a+
+  }
+
+  for (const ControlGraph::Edge& e : cg.edges()) {
+    const Ps pred_d = e.matched_delay + ctrl_delay;  // via the delay line
+    const Ps succ_d = ctrl_delay;                    // direct wire back
+    switch (p) {
+      case Protocol::FullyDecoupled:
+        arc(e.from, true, e.to, false, pred_d);   // a+ -> b-
+        arc(e.to, false, e.from, true, succ_d);   // b- -> a+
+        break;
+      case Protocol::SemiDecoupled:
+        arc(e.from, true, e.to, false, pred_d);
+        arc(e.to, false, e.from, true, succ_d);
+        arc(e.from, false, e.to, true, pred_d);   // a- -> b+
+        arc(e.to, true, e.from, false, succ_d);   // b+ -> a-
+        break;
+      case Protocol::Lockstep:
+        arc(e.from, true, e.to, true, pred_d);    // a+ -> b+
+        arc(e.from, false, e.to, false, pred_d);  // a- -> b-
+        arc(e.to, true, e.from, true, succ_d);    // b+ -> a+
+        arc(e.to, false, e.from, false, succ_d);  // b- -> a-
+        break;
+      case Protocol::Pulse:
+        // Round-token rendezvous on pulse starts; pulse widths live on the
+        // alternation arcs (handled below via pulse_width).
+        arc(e.from, true, e.to, true, pred_d);  // a+ -> b+
+        arc(e.to, true, e.from, true, succ_d);  // b+ -> a+
+        break;
+    }
+  }
+  return mg;
+}
+
+std::vector<BankTrans> bank_transitions(const pn::MarkedGraph& mg,
+                                        const ControlGraph& cg) {
+  std::vector<BankTrans> bt;
+  for (size_t i = 0; i < cg.num_banks(); ++i) {
+    BankTrans t;
+    t.plus = mg.find(cg.bank(static_cast<int>(i)).name + "+");
+    t.minus = mg.find(cg.bank(static_cast<int>(i)).name + "-");
+    DESYN_ASSERT(t.plus.valid() && t.minus.valid());
+    bt.push_back(t);
+  }
+  return bt;
+}
+
+std::vector<pn::TransId> canonical_schedule(const pn::MarkedGraph& mg,
+                                            const ControlGraph& cg,
+                                            Protocol p, int periods) {
+  auto bt = bank_transitions(mg, cg);
+  std::vector<pn::TransId> seq;
+  for (int k = 0; k < periods; ++k) {
+    for (int batch = 0; batch < 4; ++batch) {
+      for (size_t i = 0; i < cg.num_banks(); ++i) {
+        bool even = cg.bank(static_cast<int>(i)).even;
+        for (bool plus : {true, false}) {
+          if (first_fire_index(p, even, plus) == batch) {
+            seq.push_back(plus ? bt[i].plus : bt[i].minus);
+          }
+        }
+      }
+    }
+  }
+  return seq;
+}
+
+}  // namespace desyn::ctl

@@ -1,0 +1,111 @@
+// De-synchronization protocols: pairwise latch-bank synchronization patterns
+// (paper Fig. 4) and their composition into the control marked graph of a
+// whole netlist (paper Fig. 2).
+//
+// A *bank* is a set of latches sharing one control signal; banks are even
+// (master, transparent at CLK=0 in the synchronous reference) or odd
+// (slave, transparent at CLK=1). An *edge* a->b means data flows from the
+// latches of a through combinational logic into the latches of b.
+//
+// Transitions: for every bank `a`, `a+` (becomes transparent) and `a-`
+// (becomes opaque / captures). All protocols share the alternation arcs
+// a+ -> a- -> a+. Per data edge a->b they add:
+//
+//   FullyDecoupled (the paper's overlapping model, Fig. 4):
+//     a+ -> b-   (b captures only after a launched new data; carries the
+//                 matched delay in the timed model)
+//     b- -> a+   (a may overwrite only after b captured)
+//   SemiDecoupled: FullyDecoupled plus the mirror arcs
+//     a- -> b+ , b+ -> a-
+//   Lockstep (non-overlapping; the shipped single-C-element hardware):
+//     a+ -> b+ , a- -> b- , b+ -> a+ , b- -> a-
+//
+// Initial markings are derived mechanically from the canonical synchronous
+// schedule (E- O+ | O- E+ per clock period): arc u->v is marked iff v's
+// first firing precedes u's first firing. This reproduces the markings of
+// Fig. 4 (e.g. a+ -> b- marked, b- -> a+ unmarked).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pn/petri.h"
+
+namespace desyn::ctl {
+
+enum class Protocol {
+  Lockstep,        ///< non-overlapping model: a toggles with all neighbours
+  SemiDecoupled,   ///< fully-decoupled plus mirror arcs
+  FullyDecoupled,  ///< the paper's Fig. 4 overlapping model
+  Pulse,           ///< shipped hardware: 2-phase round tokens + local pulse
+                   ///< generation (strict pairwise alternation; banks start
+                   ///< opaque and pulse once per round)
+};
+const char* protocol_name(Protocol p);
+
+/// Position of a bank event in the protocol's canonical schedule; used to
+/// derive initial markings (arc u->v is marked iff v fires first) and to
+/// build canonical_schedule(). Lockstep/Semi/Fully use the synchronous
+/// two-phase order [E- O+ | O- E+]; Pulse uses its pulse order
+/// [O+ O- | E+ E-].
+int first_fire_index(Protocol p, bool even, bool plus);
+
+/// Bank-level control structure extracted from a latch-based netlist.
+class ControlGraph {
+ public:
+  struct Bank {
+    std::string name;
+    bool even = false;  ///< transparent at CLK=0 (master)
+  };
+  struct Edge {
+    int from = 0;
+    int to = 0;
+    Ps matched_delay = 0;  ///< worst combinational path from -> to
+  };
+
+  int add_bank(std::string name, bool even);
+  /// Add a data edge; endpoints must have opposite parity. Duplicate edges
+  /// are merged keeping the larger delay.
+  int add_edge(int from, int to, Ps matched_delay = 0);
+
+  size_t num_banks() const { return banks_.size(); }
+  const Bank& bank(int i) const { return banks_[static_cast<size_t>(i)]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+  std::vector<int> preds(int bank) const;
+  std::vector<int> succs(int bank) const;
+  int find_bank(std::string_view name) const;
+
+  /// Structural sanity: parity alternation on every edge.
+  void validate() const;
+
+ private:
+  std::vector<Bank> banks_;
+  std::vector<Edge> edges_;
+};
+
+/// Transition pair of one bank in a protocol MG.
+struct BankTrans {
+  pn::TransId plus;
+  pn::TransId minus;
+};
+
+/// Build the (optionally timed) protocol marked graph. `ctrl_delay` is the
+/// controller response time added to every cross-bank arc; matched delays
+/// from the edges are added to predecessor-side arcs. For Pulse,
+/// `pulse_width` annotates the a+ -> a- alternation arcs (the local pulse).
+pn::MarkedGraph protocol_mg(const ControlGraph& cg, Protocol p,
+                            Ps ctrl_delay = 0, Ps pulse_width = 0);
+
+/// Transition handles per bank, in bank order ("<name>+"/"<name>-").
+std::vector<BankTrans> bank_transitions(const pn::MarkedGraph& mg,
+                                        const ControlGraph& cg);
+
+/// The protocol's canonical schedule as a firing sequence: `periods`
+/// repetitions of the four event batches in first_fire_index() order.
+/// Every protocol MG must admit its own canonical schedule; for
+/// Lockstep/Semi/Fully this is the synchronous schedule itself.
+std::vector<pn::TransId> canonical_schedule(const pn::MarkedGraph& mg,
+                                            const ControlGraph& cg,
+                                            Protocol p, int periods);
+
+}  // namespace desyn::ctl

@@ -1,0 +1,110 @@
+#include "dlx/assembler.h"
+
+namespace desyn::dlx {
+
+namespace {
+
+/// Registers read by an instruction.
+void reads_of(const Ins& i, int out[2]) {
+  out[0] = out[1] = -1;
+  switch (i.op) {
+    case Op::NOP:
+    case Op::J:
+    case Op::LUI:
+      return;
+    case Op::ADD: case Op::SUB: case Op::AND_: case Op::OR_:
+    case Op::XOR_: case Op::SLT:
+    case Op::BEQ: case Op::BNE:
+    case Op::SW:
+      out[0] = i.rs;
+      out[1] = i.rt;
+      return;
+    default:  // I-type ALU + LW
+      out[0] = i.rs;
+      return;
+  }
+}
+
+/// Register written (or -1).
+int write_of(const Ins& i) {
+  switch (i.op) {
+    case Op::ADD: case Op::SUB: case Op::AND_: case Op::OR_:
+    case Op::XOR_: case Op::SLT:
+      return i.rd;
+    case Op::ADDI: case Op::ANDI: case Op::ORI: case Op::XORI:
+    case Op::SLTI: case Op::LUI: case Op::LW:
+      return i.rt;
+    default:
+      return -1;
+  }
+}
+
+bool is_control(Op op) { return op == Op::BEQ || op == Op::BNE || op == Op::J; }
+
+}  // namespace
+
+void Asm::raw(const Ins& ins) {
+  int wr = write_of(ins);
+  if (wr > 0) def_index_[wr] = here();
+  prog_.push_back(ins);
+}
+
+void Asm::schedule_reads(const Ins& ins) {
+  int rd[2];
+  reads_of(ins, rd);
+  for (int r : rd) {
+    if (r <= 0) continue;
+    while (here() - def_index_[r] <= kUseLatency) prog_.push_back(Ins{});
+  }
+}
+
+void Asm::emit(const Ins& ins) {
+  schedule_reads(ins);
+  raw(ins);
+  if (is_control(ins.op)) nop(kBranchSlots);
+}
+
+void Asm::nop(int count) {
+  for (int i = 0; i < count; ++i) prog_.push_back(Ins{});
+}
+
+void Asm::branch_to(Op op, int rs, int rt, int target) {
+  Ins ins{op, 0, rs, rt, 0};
+  schedule_reads(ins);
+  ins.imm = target - (here() + 1);
+  raw(ins);
+  nop(kBranchSlots);
+}
+
+int Asm::branch_fwd(Op op, int rs, int rt) {
+  Ins ins{op, 0, rs, rt, 0};
+  schedule_reads(ins);
+  int at = here();
+  raw(ins);
+  nop(kBranchSlots);
+  return at;
+}
+
+void Asm::bind(int fixup) {
+  DESYN_ASSERT(fixup >= 0 && fixup < here());
+  prog_[static_cast<size_t>(fixup)].imm = here() - (fixup + 1);
+}
+
+void Asm::jump_to(int target) {
+  raw(Ins{Op::J, 0, 0, 0, target});
+  nop(kBranchSlots);
+}
+
+void Asm::halt() {
+  int self = here();
+  jump_to(self);
+}
+
+std::vector<uint32_t> Asm::assemble() const {
+  std::vector<uint32_t> out;
+  out.reserve(prog_.size());
+  for (const Ins& i : prog_) out.push_back(encode(i));
+  return out;
+}
+
+}  // namespace desyn::dlx

@@ -1,0 +1,52 @@
+// Scheduling assembler: emits instructions while automatically inserting
+// the NOPs the interlock-free pipeline requires (register-use latency of 3
+// intervening slots, 2 branch delay slots) and resolving branch targets.
+#pragma once
+
+#include <vector>
+
+#include "dlx/isa.h"
+
+namespace desyn::dlx {
+
+class Asm {
+ public:
+  int here() const { return static_cast<int>(prog_.size()); }
+
+  /// Append without scheduling (trusted placement).
+  void raw(const Ins& ins);
+  /// Append with automatic RAW NOP insertion; branches/jumps get their two
+  /// delay-slot NOPs appended.
+  void emit(const Ins& ins);
+
+  // Convenience builders.
+  void op3(Op op, int rd, int rs, int rt) { emit({op, rd, rs, rt, 0}); }
+  void opi(Op op, int rt, int rs, int32_t imm) { emit({op, 0, rs, rt, imm}); }
+  void nop(int count = 1);
+
+  /// Bind-later label support.
+  int label() const { return here(); }
+  /// Backward branch to an already bound label.
+  void branch_to(Op op, int rs, int rt, int target);
+  /// Forward branch; returns a fixup handle for bind().
+  int branch_fwd(Op op, int rs, int rt);
+  void bind(int fixup);
+  void jump_to(int target);
+  /// Infinite self-loop terminator.
+  void halt();
+
+  const std::vector<Ins>& instructions() const { return prog_; }
+  std::vector<uint32_t> assemble() const;
+
+ private:
+  void schedule_reads(const Ins& ins);
+  std::vector<Ins> prog_;
+  int def_index_[32];
+
+ public:
+  Asm() {
+    for (int& d : def_index_) d = -1000;
+  }
+};
+
+}  // namespace desyn::dlx

@@ -1,0 +1,198 @@
+#include "dlx/cpu_builder.h"
+
+namespace desyn::dlx {
+
+using nl::NetId;
+using rtl::Bus;
+using rtl::Word;
+
+namespace {
+
+/// True when `bus` equals the constant `value` (XNOR/AND tree).
+NetId match(Word& w, const Bus& bus, uint64_t value) {
+  nl::Builder& b = w.builder();
+  std::vector<NetId> bits;
+  for (size_t i = 0; i < bus.size(); ++i) {
+    bits.push_back((value >> i) & 1 ? bus[i] : b.inv(bus[i]));
+  }
+  return b.and_(bits);
+}
+
+int log2i(int v) {
+  int bits = 0;
+  while ((1 << bits) < v) ++bits;
+  return bits;
+}
+
+/// Placeholder bus to be driven later (forward references in the loop).
+Bus placeholders(nl::Netlist& nl, std::string_view name, int width) {
+  Bus bus;
+  for (int i = 0; i < width; ++i) bus.push_back(nl.add_net(cat(name, i)));
+  return bus;
+}
+
+/// Drive each placeholder from the computed value through a buffer.
+void drive(nl::Netlist& nl, const Bus& ph, const Bus& value) {
+  DESYN_ASSERT(ph.size() == value.size());
+  for (size_t i = 0; i < ph.size(); ++i) {
+    nl.add_cell(cell::Kind::Buf, "", {value[i]}, {ph[i]});
+  }
+}
+
+}  // namespace
+
+DlxInfo build_dlx(nl::Netlist& nl, const DlxConfig& cfg,
+                  std::vector<uint32_t> program) {
+  DESYN_ASSERT(cfg.regs >= 2 && (cfg.regs & (cfg.regs - 1)) == 0);
+  nl::Builder b(nl);
+  Word w(b);
+  const int rbits = log2i(cfg.regs);
+  const int pbits = cfg.imem_bits;
+
+  DlxInfo info;
+  info.clk = b.input("clk");
+  NetId clk = info.clk;
+
+  // Forward references resolved at the end of the function.
+  Bus pc_next = placeholders(nl, "if.pcnext", pbits);
+  Bus wb_value = placeholders(nl, "wb.value", 32);
+  Bus wb_dst = placeholders(nl, "wb.dst", rbits);
+  Bus wb_we_b = placeholders(nl, "wb.we", 1);
+
+  // ------------------------------------------------------------------- IF
+  Bus pc = w.reg(pc_next, clk, 0, "pc.pc");
+  program.resize(size_t{1} << cfg.imem_bits, 0);
+  std::vector<uint64_t> payload(program.begin(), program.end());
+  Bus instr_if = b.rom(pc, 32, payload, "imem");
+  Bus pc1 = w.add(pc, w.constant(1, pbits));
+
+  Bus instr = w.reg(instr_if, clk, 0, "ifid.ins");
+  Bus pc1_id = w.reg(pc1, clk, 0, "ifid.pc1");
+
+  // ------------------------------------------------------------------- ID
+  Bus op = w.slice(instr, 26, 6);
+  Bus funct = w.slice(instr, 0, 6);
+  Bus rs_idx = w.slice(instr, 21, rbits);
+  Bus rt_idx = w.slice(instr, 16, rbits);
+  Bus rd_idx = w.slice(instr, 11, rbits);
+  Bus imm16 = w.slice(instr, 0, 16);
+
+  NetId is_r = match(w, op, 0x00);
+  NetId f_add = b.and_({is_r, match(w, funct, 0x20)});
+  NetId f_sub = b.and_({is_r, match(w, funct, 0x22)});
+  NetId f_and = b.and_({is_r, match(w, funct, 0x24)});
+  NetId f_or = b.and_({is_r, match(w, funct, 0x25)});
+  NetId f_xor = b.and_({is_r, match(w, funct, 0x26)});
+  NetId f_slt = b.and_({is_r, match(w, funct, 0x2a)});
+  NetId op_addi = match(w, op, 0x08);
+  NetId op_slti = match(w, op, 0x0a);
+  NetId op_andi = match(w, op, 0x0c);
+  NetId op_ori = match(w, op, 0x0d);
+  NetId op_xori = match(w, op, 0x0e);
+  NetId op_lui = match(w, op, 0x0f);
+  NetId op_lw = match(w, op, 0x23);
+  NetId op_sw = match(w, op, 0x2b);
+  NetId op_beq = match(w, op, 0x04);
+  NetId op_bne = match(w, op, 0x05);
+  NetId op_j = match(w, op, 0x02);
+
+  NetId sel_add = b.or_({f_add, op_addi, op_lw, op_sw});
+  NetId sel_sub = f_sub;
+  NetId sel_and = b.or_({f_and, op_andi});
+  NetId sel_or = b.or_({f_or, op_ori});
+  NetId sel_xor = b.or_({f_xor, op_xori});
+  NetId sel_slt = b.or_({f_slt, op_slti});
+  NetId sel_lui = op_lui;
+  NetId alu_imm =
+      b.or_({op_addi, op_andi, op_ori, op_xori, op_slti, op_lui, op_lw, op_sw});
+  NetId sign_imm = b.or_({op_addi, op_slti, op_lw, op_sw, op_beq, op_bne});
+  NetId we_reg = b.or_({f_add, f_sub, f_and, f_or, f_xor, f_slt, op_addi,
+                        op_andi, op_ori, op_xori, op_slti, op_lui, op_lw});
+
+  rtl::RegFile rf = rtl::regfile(w, clk, cfg.regs, 32, wb_dst, wb_value,
+                                 wb_we_b[0], {rs_idx, rt_idx}, "rf");
+  Bus a_id = rf.read_data[0];
+  Bus b_id = rf.read_data[1];
+  Bus imm32 =
+      w.mux(w.zero_extend(imm16, 32), w.sign_extend(imm16, 32), sign_imm);
+  Bus dst_id = w.mux(rt_idx, rd_idx, is_r);
+  Bus jt_id = w.slice(instr, 0, pbits);
+
+  // idex stage registers (one bank: prefix "idex").
+  Bus a_ex = w.reg(a_id, clk, 0, "idex.a");
+  Bus b_ex = w.reg(b_id, clk, 0, "idex.b");
+  Bus imm_ex = w.reg(imm32, clk, 0, "idex.imm");
+  Bus pc1_ex = w.reg(pc1_id, clk, 0, "idex.pc1");
+  Bus dst_ex = w.reg(dst_id, clk, 0, "idex.dst");
+  Bus jt_ex = w.reg(jt_id, clk, 0, "idex.jt");
+  Bus ctrl_id = {sel_add, sel_sub, sel_and, sel_or,  sel_xor, sel_slt, sel_lui,
+                 alu_imm, we_reg,  op_sw,   op_lw,   op_beq,  op_bne,  op_j};
+  Bus ctrl_ex = w.reg(ctrl_id, clk, 0, "idex.ctl");
+  NetId x_sel_add = ctrl_ex[0], x_sel_sub = ctrl_ex[1], x_sel_and = ctrl_ex[2],
+        x_sel_or = ctrl_ex[3], x_sel_xor = ctrl_ex[4], x_sel_slt = ctrl_ex[5],
+        x_sel_lui = ctrl_ex[6], x_alu_imm = ctrl_ex[7], x_we_reg = ctrl_ex[8],
+        x_we_mem = ctrl_ex[9], x_is_load = ctrl_ex[10], x_beq = ctrl_ex[11],
+        x_bne = ctrl_ex[12], x_j = ctrl_ex[13];
+
+  // ------------------------------------------------------------------- EX
+  Bus in2 = w.mux(b_ex, imm_ex, x_alu_imm);
+  Bus r_add = w.add(a_ex, in2);
+  Bus r_sub = w.sub(a_ex, in2);
+  Bus r_and = w.and_(a_ex, in2);
+  Bus r_or = w.or_(a_ex, in2);
+  Bus r_xor = w.xor_(a_ex, in2);
+  Bus r_slt = w.zero_extend({w.slt(a_ex, in2)}, 32);
+  Bus r_lui = w.shl_const(imm_ex, 16);
+  Bus alu = w.gate(r_add, x_sel_add);
+  alu = w.or_(alu, w.gate(r_sub, x_sel_sub));
+  alu = w.or_(alu, w.gate(r_and, x_sel_and));
+  alu = w.or_(alu, w.gate(r_or, x_sel_or));
+  alu = w.or_(alu, w.gate(r_xor, x_sel_xor));
+  alu = w.or_(alu, w.gate(r_slt, x_sel_slt));
+  alu = w.or_(alu, w.gate(r_lui, x_sel_lui));
+
+  NetId eq_ab = w.eq(a_ex, b_ex);
+  NetId taken = b.or_({b.and_({x_beq, eq_ab}), b.and_({x_bne, b.inv(eq_ab)})});
+  NetId redirect = b.or_({taken, x_j});
+  Bus btarget = w.add(pc1_ex, w.slice(imm_ex, 0, pbits));
+  Bus target = w.mux(btarget, jt_ex, x_j);
+  drive(nl, pc_next, w.mux(pc1, target, redirect));
+
+  Bus alu_m = w.reg(alu, clk, 0, "exmem.alu");
+  Bus st_m = w.reg(b_ex, clk, 0, "exmem.st");
+  Bus dst_m = w.reg(dst_ex, clk, 0, "exmem.dst");
+  Bus mctrl = w.reg({x_we_reg, x_we_mem, x_is_load}, clk, 0, "exmem.ctl");
+  NetId m_we_reg = mctrl[0], m_we_mem = mctrl[1], m_is_load = mctrl[2];
+
+  // ------------------------------------------------------------------ MEM
+  Bus addr = w.slice(alu_m, 0, cfg.dmem_bits);
+  Bus rd = b.ram(clk, m_we_mem, addr, st_m, addr, 32, "dmem");
+  info.dmem = nl.find_cell("dmem");
+  Bus value_m = w.mux(alu_m, rd, m_is_load);
+
+  Bus value_wb = w.reg(value_m, clk, 0, "memwb.val");
+  Bus dst_wb = w.reg(dst_m, clk, 0, "memwb.dst");
+  Bus wctrl = w.reg({m_we_reg}, clk, 0, "memwb.ctl");
+
+  // ------------------------------------------------------------------- WB
+  drive(nl, wb_value, value_wb);
+  drive(nl, wb_dst, dst_wb);
+  drive(nl, wb_we_b, wctrl);
+
+  // Observability: fetch address and write-back results.
+  w.output(pc);
+  w.output(value_wb);
+  b.output(wctrl[0]);
+
+  info.pc = pc;
+  info.wb_value = value_wb;
+  info.wb_we = wctrl[0];
+  nl.check();
+  return info;
+}
+
+nl::NetId reg_bit_net(const nl::Netlist& nl, int r, int bit) {
+  return nl.find_net(cat("rf.x", r, "_q", bit));
+}
+
+}  // namespace desyn::dlx

@@ -1,0 +1,37 @@
+// Gate-level 5-stage DLX pipeline generator (the paper's case study).
+//
+// Stages IF / ID / EX / MEM / WB with stage registers ifid, idex, exmem,
+// memwb, a flip-flop register file, ROM instruction memory and RAM data
+// memory. No interlocks or forwarding: the ISA defines the scheduling
+// contract (see isa.h), which the assembler-produced programs respect, so
+// the pipeline is cycle-equivalent to the sequential ISS.
+//
+// Register banks are named per stage ("pc", "ifid", "idex", "exmem",
+// "memwb", "rf"), which is exactly what the desynchronization flow's
+// prefix banking groups into one controller each — mirroring the paper's
+// one-controller-per-pipeline-register structure.
+#pragma once
+
+#include "dlx/iss.h"
+#include "rtl/bus.h"
+
+namespace desyn::dlx {
+
+struct DlxInfo {
+  nl::NetId clk;
+  rtl::Bus pc;        ///< primary output: current fetch address
+  rtl::Bus wb_value;  ///< primary output: write-back value
+  nl::NetId wb_we;    ///< primary output: write-back enable
+  nl::CellId dmem;    ///< the data-memory macro (for state inspection)
+};
+
+/// Build the processor into `nl`. The program is padded to the instruction
+/// memory size with NOPs.
+DlxInfo build_dlx(nl::Netlist& nl, const DlxConfig& cfg,
+                  std::vector<uint32_t> program);
+
+/// Net carrying bit `bit` of architectural register `r` ("rf.x<r>_q<bit>");
+/// lets testbenches read register state out of a simulated netlist.
+nl::NetId reg_bit_net(const nl::Netlist& nl, int r, int bit);
+
+}  // namespace desyn::dlx

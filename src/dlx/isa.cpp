@@ -1,0 +1,117 @@
+#include "dlx/isa.h"
+
+namespace desyn::dlx {
+
+namespace {
+
+// Opcode / funct values (MIPS-inspired).
+constexpr uint32_t kOpR = 0x00, kFAdd = 0x20, kFSub = 0x22, kFAnd = 0x24,
+                   kFOr = 0x25, kFXor = 0x26, kFSlt = 0x2a;
+constexpr uint32_t kOpAddi = 0x08, kOpSlti = 0x0a, kOpAndi = 0x0c,
+                   kOpOri = 0x0d, kOpXori = 0x0e, kOpLui = 0x0f,
+                   kOpLw = 0x23, kOpSw = 0x2b, kOpBeq = 0x04, kOpBne = 0x05,
+                   kOpJ = 0x02;
+
+uint32_t r_type(uint32_t funct, int rd, int rs, int rt) {
+  return (kOpR << 26) | (static_cast<uint32_t>(rs) << 21) |
+         (static_cast<uint32_t>(rt) << 16) |
+         (static_cast<uint32_t>(rd) << 11) | funct;
+}
+
+uint32_t i_type(uint32_t op, int rt, int rs, int32_t imm) {
+  return (op << 26) | (static_cast<uint32_t>(rs) << 21) |
+         (static_cast<uint32_t>(rt) << 16) |
+         (static_cast<uint32_t>(imm) & 0xffffu);
+}
+
+}  // namespace
+
+uint32_t encode(const Ins& ins) {
+  switch (ins.op) {
+    case Op::NOP: return 0;
+    case Op::ADD: return r_type(kFAdd, ins.rd, ins.rs, ins.rt);
+    case Op::SUB: return r_type(kFSub, ins.rd, ins.rs, ins.rt);
+    case Op::AND_: return r_type(kFAnd, ins.rd, ins.rs, ins.rt);
+    case Op::OR_: return r_type(kFOr, ins.rd, ins.rs, ins.rt);
+    case Op::XOR_: return r_type(kFXor, ins.rd, ins.rs, ins.rt);
+    case Op::SLT: return r_type(kFSlt, ins.rd, ins.rs, ins.rt);
+    case Op::ADDI: return i_type(kOpAddi, ins.rt, ins.rs, ins.imm);
+    case Op::ANDI: return i_type(kOpAndi, ins.rt, ins.rs, ins.imm);
+    case Op::ORI: return i_type(kOpOri, ins.rt, ins.rs, ins.imm);
+    case Op::XORI: return i_type(kOpXori, ins.rt, ins.rs, ins.imm);
+    case Op::SLTI: return i_type(kOpSlti, ins.rt, ins.rs, ins.imm);
+    case Op::LUI: return i_type(kOpLui, ins.rt, 0, ins.imm);
+    case Op::LW: return i_type(kOpLw, ins.rt, ins.rs, ins.imm);
+    case Op::SW: return i_type(kOpSw, ins.rt, ins.rs, ins.imm);
+    case Op::BEQ: return i_type(kOpBeq, ins.rt, ins.rs, ins.imm);
+    case Op::BNE: return i_type(kOpBne, ins.rt, ins.rs, ins.imm);
+    case Op::J: return (kOpJ << 26) | (static_cast<uint32_t>(ins.imm) & 0x3ffffffu);
+  }
+  fail("encode: bad opcode");
+}
+
+Ins decode(uint32_t w) {
+  Ins ins;
+  if (w == 0) return ins;  // NOP
+  uint32_t op = w >> 26;
+  ins.rs = static_cast<int>((w >> 21) & 31);
+  ins.rt = static_cast<int>((w >> 16) & 31);
+  ins.rd = static_cast<int>((w >> 11) & 31);
+  int32_t imm16 = static_cast<int16_t>(w & 0xffffu);
+  ins.imm = imm16;
+  switch (op) {
+    case kOpR:
+      switch (w & 0x3fu) {
+        case kFAdd: ins.op = Op::ADD; break;
+        case kFSub: ins.op = Op::SUB; break;
+        case kFAnd: ins.op = Op::AND_; break;
+        case kFOr: ins.op = Op::OR_; break;
+        case kFXor: ins.op = Op::XOR_; break;
+        case kFSlt: ins.op = Op::SLT; break;
+        default: fail("decode: bad funct ", w & 0x3fu);
+      }
+      return ins;
+    case kOpAddi: ins.op = Op::ADDI; return ins;
+    case kOpAndi: ins.op = Op::ANDI; ins.imm = static_cast<int32_t>(w & 0xffffu); return ins;
+    case kOpOri: ins.op = Op::ORI; ins.imm = static_cast<int32_t>(w & 0xffffu); return ins;
+    case kOpXori: ins.op = Op::XORI; ins.imm = static_cast<int32_t>(w & 0xffffu); return ins;
+    case kOpSlti: ins.op = Op::SLTI; return ins;
+    case kOpLui: ins.op = Op::LUI; ins.imm = static_cast<int32_t>(w & 0xffffu); return ins;
+    case kOpLw: ins.op = Op::LW; return ins;
+    case kOpSw: ins.op = Op::SW; return ins;
+    case kOpBeq: ins.op = Op::BEQ; return ins;
+    case kOpBne: ins.op = Op::BNE; return ins;
+    case kOpJ:
+      ins.op = Op::J;
+      ins.imm = static_cast<int32_t>(w & 0x3ffffffu);
+      return ins;
+    default:
+      fail("decode: bad opcode ", op);
+  }
+}
+
+std::string to_string(const Ins& i) {
+  switch (i.op) {
+    case Op::NOP: return "nop";
+    case Op::ADD: return cat("add r", i.rd, ", r", i.rs, ", r", i.rt);
+    case Op::SUB: return cat("sub r", i.rd, ", r", i.rs, ", r", i.rt);
+    case Op::AND_: return cat("and r", i.rd, ", r", i.rs, ", r", i.rt);
+    case Op::OR_: return cat("or r", i.rd, ", r", i.rs, ", r", i.rt);
+    case Op::XOR_: return cat("xor r", i.rd, ", r", i.rs, ", r", i.rt);
+    case Op::SLT: return cat("slt r", i.rd, ", r", i.rs, ", r", i.rt);
+    case Op::ADDI: return cat("addi r", i.rt, ", r", i.rs, ", ", i.imm);
+    case Op::ANDI: return cat("andi r", i.rt, ", r", i.rs, ", ", i.imm);
+    case Op::ORI: return cat("ori r", i.rt, ", r", i.rs, ", ", i.imm);
+    case Op::XORI: return cat("xori r", i.rt, ", r", i.rs, ", ", i.imm);
+    case Op::SLTI: return cat("slti r", i.rt, ", r", i.rs, ", ", i.imm);
+    case Op::LUI: return cat("lui r", i.rt, ", ", i.imm);
+    case Op::LW: return cat("lw r", i.rt, ", ", i.imm, "(r", i.rs, ")");
+    case Op::SW: return cat("sw r", i.rt, ", ", i.imm, "(r", i.rs, ")");
+    case Op::BEQ: return cat("beq r", i.rs, ", r", i.rt, ", ", i.imm);
+    case Op::BNE: return cat("bne r", i.rs, ", r", i.rt, ", ", i.imm);
+    case Op::J: return cat("j ", i.imm);
+  }
+  return "?";
+}
+
+}  // namespace desyn::dlx

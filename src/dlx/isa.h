@@ -1,0 +1,45 @@
+// The DLX-subset ISA used by the case study (paper §3).
+//
+// 32-bit instructions, word-addressed memory, MIPS-like encodings. The
+// pipeline has no interlocks or forwarding: the architecture defines a
+// 3-instruction register-use latency and 2 branch/jump delay slots, and the
+// assembler schedules NOPs accordingly (both the ISS and the gate-level
+// pipeline implement exactly these semantics, so they agree cycle for
+// cycle).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "base/common.h"
+
+namespace desyn::dlx {
+
+enum class Op : uint8_t {
+  NOP,   // encoded as the all-zero word
+  ADD, SUB, AND_, OR_, XOR_, SLT,          // R-type: rd = rs op rt
+  ADDI, ANDI, ORI, XORI, SLTI,             // I-type: rt = rs op imm
+  LUI,                                     // rt = imm << 16
+  LW, SW,                                  // rt <-> mem[rs + imm]
+  BEQ, BNE,                                // pc = pc+1+imm after 2 slots
+  J,                                       // pc = target     after 2 slots
+};
+
+struct Ins {
+  Op op = Op::NOP;
+  int rd = 0;   ///< R-type destination
+  int rs = 0;
+  int rt = 0;   ///< I-type destination / store source / branch operand
+  int32_t imm = 0;
+};
+
+uint32_t encode(const Ins& ins);
+Ins decode(uint32_t word);
+std::string to_string(const Ins& ins);
+
+/// Register-use latency (producer to consumer distance the scheduler must
+/// respect) and branch delay slots of the architecture.
+inline constexpr int kUseLatency = 3;
+inline constexpr int kBranchSlots = 2;
+
+}  // namespace desyn::dlx

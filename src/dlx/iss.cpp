@@ -1,0 +1,76 @@
+#include "dlx/iss.h"
+
+namespace desyn::dlx {
+
+Iss::Iss(const DlxConfig& cfg, std::vector<uint32_t> program)
+    : cfg_(cfg), imem_(std::move(program)) {
+  DESYN_ASSERT(imem_.size() <= (1u << cfg.imem_bits));
+  imem_.resize(1u << cfg.imem_bits, 0);
+  regs_.assign(static_cast<size_t>(cfg.regs), 0);
+  dmem_.assign(1u << cfg.dmem_bits, 0);
+}
+
+void Iss::step() {
+  const uint32_t pc_mask = (1u << cfg_.imem_bits) - 1;
+  const uint32_t dmask = (1u << cfg_.dmem_bits) - 1;
+  const int rmask = cfg_.regs - 1;
+  Ins ins = decode(imem_[pc_ & pc_mask]);
+  uint32_t next = (pc_ + 1) & pc_mask;
+
+  auto rs = [&] { return regs_[static_cast<size_t>(ins.rs & rmask)]; };
+  auto rt = [&] { return regs_[static_cast<size_t>(ins.rt & rmask)]; };
+  uint32_t imm = static_cast<uint32_t>(ins.imm);
+
+  switch (ins.op) {
+    case Op::NOP: break;
+    case Op::ADD: write_reg(ins.rd & rmask, rs() + rt()); break;
+    case Op::SUB: write_reg(ins.rd & rmask, rs() - rt()); break;
+    case Op::AND_: write_reg(ins.rd & rmask, rs() & rt()); break;
+    case Op::OR_: write_reg(ins.rd & rmask, rs() | rt()); break;
+    case Op::XOR_: write_reg(ins.rd & rmask, rs() ^ rt()); break;
+    case Op::SLT:
+      write_reg(ins.rd & rmask, static_cast<int32_t>(rs()) <
+                                        static_cast<int32_t>(rt())
+                                    ? 1
+                                    : 0);
+      break;
+    case Op::ADDI: write_reg(ins.rt & rmask, rs() + imm); break;
+    case Op::ANDI: write_reg(ins.rt & rmask, rs() & (imm & 0xffffu)); break;
+    case Op::ORI: write_reg(ins.rt & rmask, rs() | (imm & 0xffffu)); break;
+    case Op::XORI: write_reg(ins.rt & rmask, rs() ^ (imm & 0xffffu)); break;
+    case Op::SLTI:
+      write_reg(ins.rt & rmask,
+                static_cast<int32_t>(rs()) < ins.imm ? 1 : 0);
+      break;
+    case Op::LUI: write_reg(ins.rt & rmask, (imm & 0xffffu) << 16); break;
+    case Op::LW: write_reg(ins.rt & rmask, dmem_[(rs() + imm) & dmask]); break;
+    case Op::SW: dmem_[(rs() + imm) & dmask] = rt(); break;
+    case Op::BEQ:
+      if (rs() == rt()) {
+        pending_ = kBranchSlots;
+        redirect_ = (pc_ + 1 + imm) & pc_mask;
+      }
+      break;
+    case Op::BNE:
+      if (rs() != rt()) {
+        pending_ = kBranchSlots;
+        redirect_ = (pc_ + 1 + imm) & pc_mask;
+      }
+      break;
+    case Op::J:
+      pending_ = kBranchSlots;
+      redirect_ = imm & pc_mask;
+      break;
+  }
+
+  if (pending_ == 0) {
+    next = redirect_;
+    pending_ = -1;
+  } else if (pending_ > 0) {
+    --pending_;
+  }
+  pc_ = next;
+  ++retired_;
+}
+
+}  // namespace desyn::dlx

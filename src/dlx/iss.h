@@ -1,0 +1,49 @@
+// Golden instruction-set simulator: the architectural reference the
+// gate-level pipeline is validated against (co-simulation tests).
+#pragma once
+
+#include <vector>
+
+#include "dlx/isa.h"
+
+namespace desyn::dlx {
+
+struct DlxConfig {
+  int regs = 16;       ///< architectural registers (power of two)
+  int imem_bits = 8;   ///< instruction memory address bits (words)
+  int dmem_bits = 6;   ///< data memory address bits (words)
+};
+
+class Iss {
+ public:
+  Iss(const DlxConfig& cfg, std::vector<uint32_t> program);
+
+  /// Execute one instruction (including NOPs / delay slots).
+  void step();
+  void run(int steps) {
+    for (int i = 0; i < steps; ++i) step();
+  }
+
+  uint32_t pc() const { return pc_; }
+  uint32_t reg(int i) const { return regs_[static_cast<size_t>(i)]; }
+  uint32_t dmem(uint32_t addr) const {
+    return dmem_[addr & ((1u << cfg_.dmem_bits) - 1)];
+  }
+  const std::vector<uint32_t>& dmem_words() const { return dmem_; }
+  uint64_t instructions_retired() const { return retired_; }
+
+ private:
+  void write_reg(int r, uint32_t v) {
+    if (r != 0) regs_[static_cast<size_t>(r)] = v;
+  }
+  DlxConfig cfg_;
+  std::vector<uint32_t> imem_;
+  std::vector<uint32_t> regs_;
+  std::vector<uint32_t> dmem_;
+  uint32_t pc_ = 0;
+  int pending_ = -1;        ///< branch delay-slot countdown
+  uint32_t redirect_ = 0;
+  uint64_t retired_ = 0;
+};
+
+}  // namespace desyn::dlx

@@ -1,0 +1,126 @@
+#include "dlx/programs.h"
+
+namespace desyn::dlx {
+
+std::vector<uint32_t> fibonacci_program(int n) {
+  Asm a;
+  a.opi(Op::ADDI, 1, 0, 0);  // r1 = fib(i)
+  a.opi(Op::ADDI, 2, 0, 1);  // r2 = fib(i+1)
+  a.opi(Op::ADDI, 3, 0, 0);  // r3 = i
+  a.opi(Op::ADDI, 4, 0, n);  // r4 = n
+  int loop = a.label();
+  a.emit({Op::SW, 0, 3, 1, 0});    // mem[i] = fib(i)
+  a.op3(Op::ADD, 5, 1, 2);         // r5 = fib(i+2)
+  a.op3(Op::ADD, 1, 0, 2);         // r1 = r2
+  a.opi(Op::ADDI, 3, 3, 1);        // ++i
+  a.op3(Op::ADD, 2, 0, 5);         // r2 = r5
+  a.op3(Op::SLT, 6, 3, 4);
+  a.branch_to(Op::BNE, 6, 0, loop);
+  a.halt();
+  return a.assemble();
+}
+
+std::vector<uint32_t> checksum_program(int n) {
+  Asm a;
+  a.opi(Op::ADDI, 1, 0, 0);  // i
+  a.opi(Op::ADDI, 2, 0, n);
+  a.opi(Op::ADDI, 3, 0, 7);  // val
+  int init = a.label();
+  a.emit({Op::SW, 0, 1, 3, 0});
+  a.opi(Op::ADDI, 3, 3, 3);
+  a.opi(Op::ADDI, 1, 1, 1);
+  a.op3(Op::SLT, 4, 1, 2);
+  a.branch_to(Op::BNE, 4, 0, init);
+
+  a.opi(Op::ADDI, 1, 0, 0);
+  a.opi(Op::ADDI, 5, 0, 0);  // sum
+  a.opi(Op::ADDI, 6, 0, 0);  // xor
+  int loop = a.label();
+  a.emit({Op::LW, 0, 1, 7, 0});  // r7 = mem[i]
+  a.opi(Op::ADDI, 1, 1, 1);
+  a.op3(Op::ADD, 5, 5, 7);
+  a.op3(Op::XOR_, 6, 6, 7);
+  a.op3(Op::SLT, 4, 1, 2);
+  a.branch_to(Op::BNE, 4, 0, loop);
+  a.emit({Op::SW, 0, 0, 5, n});      // mem[n]   = sum
+  a.emit({Op::SW, 0, 0, 6, n + 1});  // mem[n+1] = xor
+  a.halt();
+  return a.assemble();
+}
+
+std::vector<uint32_t> sort_program(int n) {
+  Asm a;
+  // Fill with r3 = 3*r3 + 5 starting from 11 (mod 2^32).
+  a.opi(Op::ADDI, 1, 0, 0);
+  a.opi(Op::ADDI, 2, 0, n);
+  a.opi(Op::ADDI, 3, 0, 11);
+  int fill = a.label();
+  a.emit({Op::SW, 0, 1, 3, 0});
+  a.op3(Op::ADD, 4, 3, 3);
+  a.opi(Op::ADDI, 1, 1, 1);
+  a.op3(Op::ADD, 3, 4, 3);
+  a.opi(Op::ADDI, 3, 3, 5);
+  a.opi(Op::ANDI, 3, 3, 0xff);  // keep values small/positive for slt
+  a.op3(Op::SLT, 4, 1, 2);
+  a.branch_to(Op::BNE, 4, 0, fill);
+
+  // n passes of adjacent compare-and-swap.
+  a.opi(Op::ADDI, 8, 0, 0);      // pass counter
+  a.opi(Op::ADDI, 9, 0, n);      // pass limit
+  a.opi(Op::ADDI, 10, 0, n - 1); // inner limit
+  int pass = a.label();
+  a.opi(Op::ADDI, 1, 0, 0);
+  int inner = a.label();
+  a.emit({Op::LW, 0, 1, 5, 0});   // r5 = a[j]
+  a.emit({Op::LW, 0, 1, 6, 1});   // r6 = a[j+1]
+  a.op3(Op::SLT, 7, 6, 5);        // r7 = a[j+1] < a[j]
+  int skip = a.branch_fwd(Op::BEQ, 7, 0);
+  a.emit({Op::SW, 0, 1, 6, 0});   // swap
+  a.emit({Op::SW, 0, 1, 5, 1});
+  a.bind(skip);
+  a.opi(Op::ADDI, 1, 1, 1);
+  a.op3(Op::SLT, 4, 1, 10);
+  a.branch_to(Op::BNE, 4, 0, inner);
+  a.opi(Op::ADDI, 8, 8, 1);
+  a.op3(Op::SLT, 4, 8, 9);
+  a.branch_to(Op::BNE, 4, 0, pass);
+  a.halt();
+  return a.assemble();
+}
+
+std::vector<uint32_t> memcpy_program(int n) {
+  Asm a;
+  a.opi(Op::ADDI, 1, 0, 0);
+  a.opi(Op::ADDI, 2, 0, n);
+  a.opi(Op::ADDI, 3, 0, 0x21);
+  int fill = a.label();
+  a.emit({Op::SW, 0, 1, 3, 0});
+  a.opi(Op::ADDI, 3, 3, 0x11);
+  a.opi(Op::ADDI, 1, 1, 1);
+  a.op3(Op::SLT, 4, 1, 2);
+  a.branch_to(Op::BNE, 4, 0, fill);
+
+  a.opi(Op::ADDI, 1, 0, 0);
+  int copy = a.label();
+  a.emit({Op::LW, 0, 1, 5, 0});
+  a.opi(Op::ADDI, 1, 1, 1);
+  a.emit({Op::SW, 0, 1, 5, n - 1});  // mem[(i-1)+n] — r1 already incremented
+  a.op3(Op::SLT, 4, 1, 2);
+  a.branch_to(Op::BNE, 4, 0, copy);
+  a.halt();
+  return a.assemble();
+}
+
+std::vector<Workload> standard_workloads() {
+  // Cycle budgets include slack over the nominal instruction counts: the
+  // pipeline trails the sequential ISS by its fill depth, and both converge
+  // in the halt spin.
+  return {
+      {"fib", fibonacci_program(10), 260},
+      {"checksum", checksum_program(10), 360},
+      {"sort", sort_program(6), 1700},
+      {"memcpy", memcpy_program(10), 420},
+  };
+}
+
+}  // namespace desyn::dlx

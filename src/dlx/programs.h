@@ -1,0 +1,31 @@
+// Workload programs for the DLX case study. All are scheduled by the Asm
+// class (NOP insertion) and terminate in a halt spin, so running "too many"
+// cycles is harmless.
+#pragma once
+
+#include <vector>
+
+#include "dlx/assembler.h"
+
+namespace desyn::dlx {
+
+/// fib(0..n-1) stored to dmem[0..n-1].
+std::vector<uint32_t> fibonacci_program(int n);
+/// Writes a[i]=3i+7 to dmem[0..n-1], then stores sum at dmem[n] and xor
+/// checksum at dmem[n+1].
+std::vector<uint32_t> checksum_program(int n);
+/// Fills dmem[0..n-1] with a pseudo-random sequence and bubble-sorts it.
+std::vector<uint32_t> sort_program(int n);
+/// Fills dmem[0..n-1], then copies it to dmem[n..2n-1].
+std::vector<uint32_t> memcpy_program(int n);
+
+struct Workload {
+  const char* name;
+  std::vector<uint32_t> words;
+  int cycles;  ///< suggested simulation length (includes halt spin)
+};
+
+/// The benchmark mix used by the Table-1 reproduction.
+std::vector<Workload> standard_workloads();
+
+}  // namespace desyn::dlx

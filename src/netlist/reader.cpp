@@ -1,0 +1,283 @@
+#include "netlist/reader.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+
+namespace desyn::nl {
+
+namespace {
+
+struct Token {
+  enum Type { Id, Punct, Str, End } type = End;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token next() {
+    skip();
+    if (pos_ >= text_.size()) return {Token::End, ""};
+    char c = text_[pos_];
+    if (c == '\\') {  // escaped identifier: up to next whitespace
+      ++pos_;
+      size_t s = pos_;
+      while (pos_ < text_.size() && !std::isspace(uc(text_[pos_]))) ++pos_;
+      return {Token::Id, std::string(text_.substr(s, pos_ - s))};
+    }
+    if (c == '"') {
+      ++pos_;
+      size_t s = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
+      if (pos_ >= text_.size()) fail("verilog: unterminated string");
+      std::string v(text_.substr(s, pos_ - s));
+      ++pos_;
+      return {Token::Str, v};
+    }
+    if (std::isalnum(uc(c)) || c == '_') {
+      size_t s = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(uc(text_[pos_])) || text_[pos_] == '_')) {
+        ++pos_;
+      }
+      return {Token::Id, std::string(text_.substr(s, pos_ - s))};
+    }
+    // Multi-char attribute delimiters (* and *).
+    if (c == '(' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '*') {
+      pos_ += 2;
+      return {Token::Punct, "(*"};
+    }
+    if (c == '*' && pos_ + 1 < text_.size() && text_[pos_ + 1] == ')') {
+      pos_ += 2;
+      return {Token::Punct, "*)"};
+    }
+    ++pos_;
+    return {Token::Punct, std::string(1, c)};
+  }
+
+  Token peek() {
+    size_t save = pos_;
+    Token t = next();
+    pos_ = save;
+    return t;
+  }
+
+ private:
+  static unsigned char uc(char c) { return static_cast<unsigned char>(c); }
+  void skip() {
+    for (;;) {
+      while (pos_ < text_.size() && std::isspace(uc(text_[pos_]))) ++pos_;
+      if (pos_ + 1 < text_.size() && text_[pos_] == '/' &&
+          text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      break;
+    }
+  }
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+/// Maps "AND3" -> (Kind::And, arity 3); plain names -> fixed arity kinds.
+std::pair<cell::Kind, int> parse_type(const std::string& t) {
+  static const std::map<std::string, cell::Kind> fixed = [] {
+    std::map<std::string, cell::Kind> m;
+    for (int i = 0; i <= static_cast<int>(cell::Kind::Ram); ++i) {
+      cell::Kind k = static_cast<cell::Kind>(i);
+      m[cell::kind_name(k)] = k;
+    }
+    return m;
+  }();
+  auto it = fixed.find(t);
+  if (it != fixed.end()) return {it->second, 0};
+  // Trailing digits: variable-arity kind.
+  size_t d = t.size();
+  while (d > 0 && std::isdigit(static_cast<unsigned char>(t[d - 1]))) --d;
+  if (d == t.size() || d == 0) fail("verilog: unknown cell type '", t, "'");
+  auto base = fixed.find(t.substr(0, d));
+  if (base == fixed.end()) fail("verilog: unknown cell type '", t, "'");
+  return {base->second, std::stoi(t.substr(d))};
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lex_(text) {}
+
+  Netlist parse() {
+    expect_id("module");
+    Token name = expect(Token::Id);
+    Netlist nl(name.text);
+    expect_punct("(");
+    parse_ports(nl);
+    expect_punct(")");
+    expect_punct(";");
+    std::vector<NetId> pending_outputs;
+    for (const std::string& out : output_names_) {
+      NetId n = nl.add_net(out);
+      DESYN_ASSERT(nl.net(n).name == out);
+      nl.mark_output(n);
+    }
+    for (;;) {
+      Token t = lex_.next();
+      if (t.type == Token::Id && t.text == "endmodule") break;
+      if (t.type == Token::End) fail("verilog: missing endmodule");
+      if (t.type == Token::Id && t.text == "wire") {
+        Token w = expect(Token::Id);
+        NetId n = nl.add_net(w.text);
+        DESYN_ASSERT(nl.net(n).name == w.text, "duplicate wire ", w.text);
+        expect_punct(";");
+        continue;
+      }
+      if (t.type == Token::Punct && t.text == "(*") {
+        parse_attributes();
+        continue;
+      }
+      if (t.type == Token::Id) {
+        parse_instance(nl, t.text);
+        continue;
+      }
+      fail("verilog: unexpected token '", t.text, "'");
+    }
+    (void)pending_outputs;
+    return nl;
+  }
+
+ private:
+  Token expect(Token::Type type) {
+    Token t = lex_.next();
+    if (t.type != type) fail("verilog: unexpected token '", t.text, "'");
+    return t;
+  }
+  void expect_id(const std::string& s) {
+    Token t = lex_.next();
+    if (t.type != Token::Id || t.text != s) {
+      fail("verilog: expected '", s, "', got '", t.text, "'");
+    }
+  }
+  void expect_punct(const std::string& s) {
+    Token t = lex_.next();
+    if (t.type != Token::Punct || t.text != s) {
+      fail("verilog: expected '", s, "', got '", t.text, "'");
+    }
+  }
+
+  void parse_ports(Netlist& nl) {
+    for (;;) {
+      Token t = lex_.peek();
+      if (t.type == Token::Punct && t.text == ")") return;
+      Token dir = expect(Token::Id);
+      Token pname = expect(Token::Id);
+      if (dir.text == "input") {
+        nl.add_input(pname.text);
+      } else if (dir.text == "output") {
+        output_names_.push_back(pname.text);
+      } else {
+        fail("verilog: bad port direction '", dir.text, "'");
+      }
+      Token sep = lex_.peek();
+      if (sep.type == Token::Punct && sep.text == ",") lex_.next();
+    }
+  }
+
+  void parse_attributes() {
+    attrs_.clear();
+    payload_.reset();
+    for (;;) {
+      Token key = lex_.next();
+      if (key.type == Token::Punct && key.text == "*)") return;
+      if (key.type == Token::Punct && key.text == ",") continue;
+      if (key.type != Token::Id) fail("verilog: bad attribute");
+      expect_punct("=");
+      Token val = lex_.next();
+      if (key.text == "payload") {
+        if (val.type != Token::Str) fail("verilog: payload must be a string");
+        payload_ = std::vector<uint64_t>();
+        std::string cur;
+        for (char c : val.text + ",") {
+          if (c == ',') {
+            if (!cur.empty()) payload_->push_back(std::stoull(cur, nullptr, 16));
+            cur.clear();
+          } else {
+            cur += c;
+          }
+        }
+      } else {
+        if (val.type != Token::Id) fail("verilog: bad attribute value");
+        attrs_[key.text] = std::stoll(val.text);
+      }
+    }
+  }
+
+  void parse_instance(Netlist& nl, const std::string& type) {
+    auto [kind, arity] = parse_type(type);
+    Token iname = expect(Token::Id);
+    expect_punct("(");
+
+    uint16_t p0 = static_cast<uint16_t>(attrs_.count("p0") ? attrs_["p0"] : 0);
+    uint16_t p1 = static_cast<uint16_t>(attrs_.count("p1") ? attrs_["p1"] : 0);
+    int nin = cell::num_inputs(kind, arity, p0, p1);
+    int nout = cell::num_outputs(kind, p0, p1);
+
+    // Pin-name -> index maps for this kind.
+    std::map<std::string, int> in_idx, out_idx;
+    for (int i = 0; i < nin; ++i) in_idx[cell::input_pin_name(kind, i, p0, p1)] = i;
+    for (int o = 0; o < nout; ++o) out_idx[cell::output_pin_name(kind, o, p0, p1)] = o;
+
+    std::vector<NetId> ins(static_cast<size_t>(nin), NetId::invalid());
+    std::vector<NetId> outs(static_cast<size_t>(nout), NetId::invalid());
+    for (;;) {
+      Token t = lex_.next();
+      if (t.type == Token::Punct && t.text == ")") break;
+      if (t.type == Token::Punct && (t.text == "," || t.text == ".")) continue;
+      if (t.type != Token::Id) fail("verilog: bad connection in ", iname.text);
+      std::string pin = t.text;
+      expect_punct("(");
+      Token netname = expect(Token::Id);
+      expect_punct(")");
+      NetId n = nl.find_net(netname.text);
+      if (!n.valid()) fail("verilog: unknown net '", netname.text, "'");
+      if (auto it = in_idx.find(pin); it != in_idx.end()) {
+        ins[static_cast<size_t>(it->second)] = n;
+      } else if (auto ot = out_idx.find(pin); ot != out_idx.end()) {
+        outs[static_cast<size_t>(ot->second)] = n;
+      } else {
+        fail("verilog: unknown pin '", pin, "' on ", type);
+      }
+    }
+    expect_punct(";");
+    for (NetId n : ins) {
+      if (!n.valid()) fail("verilog: unconnected input on ", iname.text);
+    }
+    for (NetId n : outs) {
+      if (!n.valid()) fail("verilog: unconnected output on ", iname.text);
+    }
+
+    cell::V init = cell::V::V0;
+    if (auto it = attrs_.find("init"); it != attrs_.end()) {
+      init = static_cast<cell::V>(it->second);
+    }
+    int32_t pl = -1;
+    if (payload_) pl = nl.add_payload(std::move(*payload_));
+    CellId c = nl.add_cell(kind, iname.text, std::move(ins), std::move(outs),
+                           init, pl, p0, p1);
+    if (auto it = attrs_.find("group"); it != attrs_.end()) {
+      nl.set_group(c, static_cast<int32_t>(it->second));
+    }
+    attrs_.clear();
+    payload_.reset();
+  }
+
+  Lexer lex_;
+  std::vector<std::string> output_names_;
+  std::map<std::string, int64_t> attrs_;
+  std::optional<std::vector<uint64_t>> payload_;
+};
+
+}  // namespace
+
+Netlist read_verilog(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace desyn::nl

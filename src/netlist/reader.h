@@ -1,0 +1,14 @@
+// Reader for the structural-Verilog subset produced by write_verilog().
+#pragma once
+
+#include <string_view>
+
+#include "netlist/netlist.h"
+
+namespace desyn::nl {
+
+/// Parse a netlist previously written with write_verilog(). Throws
+/// desyn::Error on any syntax or semantic problem.
+Netlist read_verilog(std::string_view text);
+
+}  // namespace desyn::nl

@@ -1,0 +1,142 @@
+#include "netlist/writer.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace desyn::nl {
+
+namespace {
+
+bool variable_arity(cell::Kind k) {
+  switch (k) {
+    case cell::Kind::And:
+    case cell::Kind::Nand:
+    case cell::Kind::Or:
+    case cell::Kind::Nor:
+    case cell::Kind::CElem:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string esc(const std::string& name) { return cat("\\", name, " "); }
+
+}  // namespace
+
+std::string verilog_type(const CellData& cd) {
+  std::string t = cell::kind_name(cd.kind);
+  if (variable_arity(cd.kind)) t += cat(cd.ins.size());
+  return t;
+}
+
+void write_verilog(const Netlist& nl, std::ostream& os) {
+  os << "// structural netlist written by desyn\n";
+  os << "module " << esc(nl.name()) << "(\n";
+  bool first = true;
+  for (NetId in : nl.inputs()) {
+    os << (first ? "  " : ",\n  ") << "input " << esc(nl.net(in).name);
+    first = false;
+  }
+  for (NetId out : nl.outputs()) {
+    os << (first ? "  " : ",\n  ") << "output " << esc(nl.net(out).name);
+    first = false;
+  }
+  os << "\n);\n";
+
+  // Wire declarations for all non-port nets.
+  for (uint32_t ni = 0; ni < nl.num_nets(); ++ni) {
+    NetId id(ni);
+    if (nl.is_primary_input(id)) continue;
+    bool is_out = false;
+    for (NetId o : nl.outputs()) {
+      if (o == id) { is_out = true; break; }
+    }
+    if (is_out) continue;
+    os << "  wire " << esc(nl.net(id).name) << ";\n";
+  }
+
+  for (CellId c : nl.cells()) {
+    const CellData& cd = nl.cell(c);
+    // Attributes: initial value, macro parameters, contents.
+    std::ostringstream attrs;
+    bool have = false;
+    auto add = [&](const std::string& s) {
+      attrs << (have ? ", " : "") << s;
+      have = true;
+    };
+    if (cd.init != cell::V::V0 &&
+        (cell::is_storage(cd.kind) || cell::is_state_holding(cd.kind))) {
+      add(cat("init = ", static_cast<int>(cd.init)));
+    }
+    if (cd.kind == cell::Kind::Rom || cd.kind == cell::Kind::Ram) {
+      add(cat("p0 = ", cd.p0));
+      add(cat("p1 = ", cd.p1));
+      if (cd.payload >= 0) {
+        std::ostringstream pl;
+        pl << "payload = \"";
+        const auto& words = nl.payload(cd.payload);
+        for (size_t i = 0; i < words.size(); ++i) {
+          if (i) pl << ",";
+          pl << std::hex << words[i] << std::dec;
+        }
+        pl << "\"";
+        add(pl.str());
+      }
+    }
+    if (cd.group >= 0) add(cat("group = ", cd.group));
+    if (have) os << "  (* " << attrs.str() << " *)\n";
+
+    os << "  " << verilog_type(cd) << " " << esc(cd.name) << "(";
+    bool fp = true;
+    for (size_t i = 0; i < cd.ins.size(); ++i) {
+      os << (fp ? " " : ", ") << "."
+         << cell::input_pin_name(cd.kind, static_cast<int>(i), cd.p0, cd.p1)
+         << "(" << esc(nl.net(cd.ins[i]).name) << ")";
+      fp = false;
+    }
+    for (size_t o = 0; o < cd.outs.size(); ++o) {
+      os << (fp ? " " : ", ") << "."
+         << cell::output_pin_name(cd.kind, static_cast<int>(o), cd.p0, cd.p1)
+         << "(" << esc(nl.net(cd.outs[o]).name) << ")";
+      fp = false;
+    }
+    os << " );\n";
+  }
+  os << "endmodule\n";
+}
+
+std::string to_verilog(const Netlist& nl) {
+  std::ostringstream os;
+  write_verilog(nl, os);
+  return os.str();
+}
+
+void write_dot(const Netlist& nl, std::ostream& os) {
+  os << "digraph \"" << nl.name() << "\" {\n  rankdir=LR;\n";
+  for (NetId in : nl.inputs()) {
+    os << "  \"pi_" << nl.net(in).name << "\" [shape=oval,label=\""
+       << nl.net(in).name << "\"];\n";
+  }
+  for (CellId c : nl.cells()) {
+    const CellData& cd = nl.cell(c);
+    const char* shape = cell::is_storage(cd.kind) ? "box3d"
+                        : cell::is_state_holding(cd.kind) ? "diamond"
+                                                          : "box";
+    os << "  \"c" << c.value() << "\" [shape=" << shape << ",label=\""
+       << verilog_type(cd) << "\\n" << cd.name << "\"];\n";
+  }
+  // Edges: driver -> each fanout cell.
+  for (uint32_t ni = 0; ni < nl.num_nets(); ++ni) {
+    const NetData& nd = nl.net(NetId(ni));
+    std::string src = nd.driver.valid() ? cat("c", nd.driver.value())
+                                        : cat("pi_", nd.name);
+    if (!nd.driver.valid() && !nl.is_primary_input(NetId(ni))) continue;
+    for (const Pin& p : nd.fanout) {
+      os << "  \"" << src << "\" -> \"c" << p.cell.value() << "\";\n";
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace desyn::nl

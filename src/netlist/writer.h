@@ -1,0 +1,25 @@
+// Netlist export: structural Verilog (re-readable by reader.h) and Graphviz
+// DOT for inspection/figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace desyn::nl {
+
+/// Write structural Verilog. All identifiers are emitted in escaped form, so
+/// hierarchical names ("ex.alu.n42") survive a roundtrip. Sequential-cell
+/// initial state and macro parameters/contents are carried in `(* ... *)`
+/// attributes.
+void write_verilog(const Netlist& nl, std::ostream& os);
+std::string to_verilog(const Netlist& nl);
+
+/// Graphviz DOT of the cell graph (one node per cell, ports as ovals).
+void write_dot(const Netlist& nl, std::ostream& os);
+
+/// The instance type token used in Verilog output (e.g. "AND3", "CELEM2").
+std::string verilog_type(const CellData& cd);
+
+}  // namespace desyn::nl

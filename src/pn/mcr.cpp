@@ -1,0 +1,128 @@
+#include "pn/mcr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pn/analysis.h"
+
+namespace desyn::pn {
+
+namespace {
+
+/// Longest-path relaxation with weights (delay - lambda * tokens); returns
+/// true if a positive cycle exists. When `cycle_out` is non-null and a
+/// positive cycle is found, one such cycle's transitions are stored there.
+bool positive_cycle(const MarkedGraph& mg, double lambda,
+                    std::vector<TransId>* cycle_out) {
+  const uint32_t n = static_cast<uint32_t>(mg.num_transitions());
+  std::vector<double> dist(n, 0.0);
+  std::vector<uint32_t> parent(n, UINT32_MAX);
+  uint32_t changed_node = UINT32_MAX;
+  for (uint32_t iter = 0; iter <= n; ++iter) {
+    changed_node = UINT32_MAX;
+    for (uint32_t a = 0; a < mg.num_arcs(); ++a) {
+      const Arc& arc = mg.arc(ArcId(a));
+      double w = static_cast<double>(arc.delay) -
+                 lambda * static_cast<double>(arc.tokens);
+      double nd = dist[arc.from.value()] + w;
+      if (nd > dist[arc.to.value()] + 1e-9) {
+        dist[arc.to.value()] = nd;
+        parent[arc.to.value()] = arc.from.value();
+        changed_node = arc.to.value();
+      }
+    }
+    if (changed_node == UINT32_MAX) return false;  // converged: no cycle
+  }
+  if (cycle_out) {
+    // Walk parents n steps to land inside the cycle, then collect it.
+    uint32_t v = changed_node;
+    for (uint32_t i = 0; i < n && parent[v] != UINT32_MAX; ++i) v = parent[v];
+    cycle_out->clear();
+    uint32_t u = v;
+    do {
+      cycle_out->push_back(TransId(u));
+      u = parent[u];
+    } while (u != UINT32_MAX && u != v && cycle_out->size() <= n);
+    std::reverse(cycle_out->begin(), cycle_out->end());
+  }
+  return true;
+}
+
+}  // namespace
+
+CycleRatioResult max_cycle_ratio(const MarkedGraph& mg) {
+  DESYN_ASSERT(is_live(mg), "max_cycle_ratio requires a live marked graph");
+  CycleRatioResult res;
+  double lo = 0.0, hi = 1.0;
+  for (uint32_t a = 0; a < mg.num_arcs(); ++a) {
+    hi += static_cast<double>(mg.arc(ArcId(a)).delay);
+  }
+  if (!positive_cycle(mg, 0.0, nullptr)) {
+    // All cycles have zero total delay (or there are none).
+    res.ratio = 0.0;
+    return res;
+  }
+  for (int it = 0; it < 64; ++it) {
+    double mid = 0.5 * (lo + hi);
+    if (positive_cycle(mg, mid, nullptr)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  res.ratio = hi;
+  // Extract a critical cycle just below the ratio.
+  positive_cycle(mg, std::max(0.0, res.ratio * (1.0 - 1e-7) - 1e-7),
+                 &res.cycle);
+  return res;
+}
+
+std::vector<std::vector<Ps>> earliest_schedule(const MarkedGraph& mg,
+                                               int rounds) {
+  DESYN_ASSERT(rounds > 0);
+  DESYN_ASSERT(is_live(mg), "earliest_schedule requires liveness");
+  const uint32_t n = static_cast<uint32_t>(mg.num_transitions());
+
+  // Topological order of the zero-token subgraph (acyclic by liveness):
+  // within one round, a transition may depend on same-round firings only
+  // through token-free arcs.
+  std::vector<uint32_t> indeg(n, 0);
+  for (uint32_t a = 0; a < mg.num_arcs(); ++a) {
+    const Arc& arc = mg.arc(ArcId(a));
+    if (arc.tokens == 0) ++indeg[arc.to.value()];
+  }
+  std::vector<uint32_t> order;
+  order.reserve(n);
+  for (uint32_t t = 0; t < n; ++t) {
+    if (indeg[t] == 0) order.push_back(t);
+  }
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (ArcId out : mg.transition(TransId(order[i])).out) {
+      const Arc& arc = mg.arc(out);
+      if (arc.tokens == 0 && --indeg[arc.to.value()] == 0) {
+        order.push_back(arc.to.value());
+      }
+    }
+  }
+  DESYN_ASSERT(order.size() == n);
+
+  std::vector<std::vector<Ps>> fire(n, std::vector<Ps>(rounds, 0));
+  for (int k = 0; k < rounds; ++k) {
+    for (uint32_t t : order) {
+      Ps at = 0;
+      for (ArcId in : mg.transition(TransId(t)).in) {
+        const Arc& arc = mg.arc(in);
+        int src_round = k - arc.tokens;
+        if (src_round < 0) {
+          // The needed token is part of the initial marking: available at 0.
+          continue;
+        }
+        at = std::max(at, fire[arc.from.value()][src_round] + arc.delay);
+      }
+      fire[t][k] = at;
+    }
+  }
+  return fire;
+}
+
+}  // namespace desyn::pn

@@ -1,0 +1,33 @@
+// Timed marked-graph performance analysis.
+//
+// For a strongly-connected live MG with arc delays, the asymptotic period
+// (time between successive firings of any transition in the steady state)
+// equals the maximum cycle ratio  max_C  D(C) / T(C)  over directed cycles
+// C, where D is total delay and T total tokens. This predicts the cycle
+// time of a desynchronized circuit analytically; bench A3 cross-checks it
+// against event-driven simulation.
+#pragma once
+
+#include "pn/petri.h"
+
+namespace desyn::pn {
+
+struct CycleRatioResult {
+  double ratio = 0;               ///< asymptotic period (ps per token)
+  std::vector<TransId> cycle;     ///< one critical cycle (transition list)
+};
+
+/// Maximum cycle ratio via parametric binary search + Bellman-Ford positive
+/// cycle detection. Requires a live MG with at least one cycle; arcs not on
+/// any cycle are handled naturally (they never bound the ratio).
+CycleRatioResult max_cycle_ratio(const MarkedGraph& mg);
+
+/// Earliest-firing schedule: fire time of the k-th firing (k = 0..rounds-1)
+/// of every transition under the greedy timed semantics (a transition fires
+/// as soon as every input arc holds a token whose availability time has
+/// passed). Requires liveness. Result[t][k] is the k-th firing time of
+/// transition t.
+std::vector<std::vector<Ps>> earliest_schedule(const MarkedGraph& mg,
+                                               int rounds);
+
+}  // namespace desyn::pn

@@ -1,0 +1,75 @@
+#include "pn/petri.h"
+
+#include <sstream>
+
+namespace desyn::pn {
+
+TransId MarkedGraph::add_transition(std::string name) {
+  TransId id(static_cast<uint32_t>(trans_.size()));
+  trans_.push_back(Transition{std::move(name), {}, {}});
+  return id;
+}
+
+ArcId MarkedGraph::add_arc(TransId from, TransId to, int tokens, Ps delay) {
+  DESYN_ASSERT(from.valid() && from.value() < trans_.size());
+  DESYN_ASSERT(to.valid() && to.value() < trans_.size());
+  DESYN_ASSERT(tokens >= 0);
+  ArcId id(static_cast<uint32_t>(arcs_.size()));
+  arcs_.push_back(Arc{from, to, tokens, delay});
+  trans_[from.value()].out.push_back(id);
+  trans_[to.value()].in.push_back(id);
+  return id;
+}
+
+TransId MarkedGraph::find(std::string_view name) const {
+  for (uint32_t i = 0; i < trans_.size(); ++i) {
+    if (trans_[i].name == name) return TransId(i);
+  }
+  return TransId::invalid();
+}
+
+Marking MarkedGraph::initial_marking() const {
+  Marking m(arcs_.size());
+  for (size_t i = 0; i < arcs_.size(); ++i) m[i] = arcs_[i].tokens;
+  return m;
+}
+
+bool MarkedGraph::enabled(TransId t, const Marking& m) const {
+  for (ArcId a : transition(t).in) {
+    if (m[a.value()] < 1) return false;
+  }
+  return true;
+}
+
+void MarkedGraph::fire(TransId t, Marking& m) const {
+  DESYN_ASSERT(enabled(t, m), "firing disabled transition ",
+               transition(t).name);
+  for (ArcId a : transition(t).in) --m[a.value()];
+  for (ArcId a : transition(t).out) ++m[a.value()];
+}
+
+std::vector<TransId> MarkedGraph::enabled_set(const Marking& m) const {
+  std::vector<TransId> out;
+  for (uint32_t i = 0; i < trans_.size(); ++i) {
+    if (enabled(TransId(i), m)) out.push_back(TransId(i));
+  }
+  return out;
+}
+
+std::string MarkedGraph::to_dot() const {
+  std::ostringstream os;
+  os << "digraph \"" << name_ << "\" {\n  rankdir=LR;\n";
+  for (uint32_t i = 0; i < trans_.size(); ++i) {
+    os << "  t" << i << " [shape=box,label=\"" << trans_[i].name << "\"];\n";
+  }
+  for (const Arc& a : arcs_) {
+    os << "  t" << a.from.value() << " -> t" << a.to.value() << " [label=\"";
+    for (int k = 0; k < a.tokens; ++k) os << "*";
+    if (a.delay > 0) os << " " << a.delay << "ps";
+    os << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace desyn::pn

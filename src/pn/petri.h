@@ -1,0 +1,80 @@
+// Marked graphs (a.k.a. event graphs): the concurrency model underlying
+// de-synchronization. Every place has exactly one producer and one consumer
+// transition, so places are represented directly as arcs with a token count
+// and an optional delay annotation (used for timed analyses).
+//
+// The de-synchronization model of a netlist (paper Fig. 2) is a marked
+// graph whose transitions are the rising (a+) and falling (a-) events of
+// each latch-bank control signal; see ctl/protocol.h for its construction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/common.h"
+
+namespace desyn::pn {
+
+struct TransTag {};
+struct ArcTag {};
+using TransId = Id<TransTag>;
+using ArcId = Id<ArcTag>;
+
+struct Arc {
+  TransId from;
+  TransId to;
+  int tokens = 0;  ///< initial marking of the place on this arc
+  Ps delay = 0;    ///< time from producer firing to token availability
+};
+
+struct Transition {
+  std::string name;
+  std::vector<ArcId> in;
+  std::vector<ArcId> out;
+};
+
+/// Marking: token count per arc (indexed by ArcId value).
+using Marking = std::vector<int>;
+
+class MarkedGraph {
+ public:
+  explicit MarkedGraph(std::string name = "mg") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  TransId add_transition(std::string name);
+  ArcId add_arc(TransId from, TransId to, int tokens = 0, Ps delay = 0);
+
+  size_t num_transitions() const { return trans_.size(); }
+  size_t num_arcs() const { return arcs_.size(); }
+  const Transition& transition(TransId t) const {
+    DESYN_ASSERT(t.value() < trans_.size());
+    return trans_[t.value()];
+  }
+  const Arc& arc(ArcId a) const {
+    DESYN_ASSERT(a.value() < arcs_.size());
+    return arcs_[a.value()];
+  }
+  /// Lookup by name; invalid id if absent.
+  TransId find(std::string_view name) const;
+
+  // ---- token game -----------------------------------------------------------
+
+  Marking initial_marking() const;
+  bool enabled(TransId t, const Marking& m) const;
+  /// Fire `t` (must be enabled): consume one token per input arc, produce
+  /// one per output arc.
+  void fire(TransId t, Marking& m) const;
+  /// All transitions enabled under `m`.
+  std::vector<TransId> enabled_set(const Marking& m) const;
+
+  /// Graphviz DOT; arcs annotated with tokens (bullet) and delays.
+  std::string to_dot() const;
+
+ private:
+  std::string name_;
+  std::vector<Transition> trans_;
+  std::vector<Arc> arcs_;
+};
+
+}  // namespace desyn::pn

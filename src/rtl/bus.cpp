@@ -1,0 +1,185 @@
+#include "rtl/bus.h"
+
+namespace desyn::rtl {
+
+using nl::NetId;
+
+Bus Word::input(std::string_view name, int width) {
+  Bus bus;
+  for (int i = 0; i < width; ++i) bus.push_back(b_.input(cat(name, i)));
+  return bus;
+}
+
+void Word::output(const Bus& bus) {
+  for (NetId n : bus) b_.output(n);
+}
+
+Bus Word::constant(uint64_t value, int width) {
+  Bus bus;
+  for (int i = 0; i < width; ++i) {
+    bus.push_back((value >> i) & 1 ? b_.hi() : b_.lo());
+  }
+  return bus;
+}
+
+Bus Word::not_(const Bus& a) {
+  Bus out;
+  for (NetId n : a) out.push_back(b_.inv(n));
+  return out;
+}
+
+Bus Word::and_(const Bus& a, const Bus& x) {
+  DESYN_ASSERT(a.size() == x.size());
+  Bus out;
+  for (size_t i = 0; i < a.size(); ++i) out.push_back(b_.and_({a[i], x[i]}));
+  return out;
+}
+
+Bus Word::or_(const Bus& a, const Bus& x) {
+  DESYN_ASSERT(a.size() == x.size());
+  Bus out;
+  for (size_t i = 0; i < a.size(); ++i) out.push_back(b_.or_({a[i], x[i]}));
+  return out;
+}
+
+Bus Word::xor_(const Bus& a, const Bus& x) {
+  DESYN_ASSERT(a.size() == x.size());
+  Bus out;
+  for (size_t i = 0; i < a.size(); ++i) out.push_back(b_.xor_(a[i], x[i]));
+  return out;
+}
+
+Bus Word::mux(const Bus& a, const Bus& x, NetId sel) {
+  DESYN_ASSERT(a.size() == x.size());
+  Bus out;
+  for (size_t i = 0; i < a.size(); ++i) out.push_back(b_.mux2(a[i], x[i], sel));
+  return out;
+}
+
+Bus Word::add(const Bus& a, const Bus& x, NetId cin, NetId* cout) {
+  DESYN_ASSERT(a.size() == x.size());
+  Bus sum;
+  NetId carry = cin.valid() ? cin : b_.lo();
+  for (size_t i = 0; i < a.size(); ++i) {
+    NetId axor = b_.xor_(a[i], x[i]);
+    sum.push_back(b_.xor_(axor, carry));
+    // carry' = (a & x) | (carry & (a ^ x)) via AOI-friendly gates.
+    NetId g = b_.and_({a[i], x[i]});
+    NetId p = b_.and_({axor, carry});
+    carry = b_.or_({g, p});
+  }
+  if (cout) *cout = carry;
+  return sum;
+}
+
+Bus Word::sub(const Bus& a, const Bus& x, NetId* cout) {
+  return add(a, not_(x), b_.hi(), cout);
+}
+
+NetId Word::eq(const Bus& a, const Bus& x) {
+  DESYN_ASSERT(a.size() == x.size());
+  std::vector<NetId> bits;
+  for (size_t i = 0; i < a.size(); ++i) bits.push_back(b_.xnor_(a[i], x[i]));
+  return b_.and_(bits);
+}
+
+NetId Word::is_zero(const Bus& a) { return b_.nor_(a); }
+
+NetId Word::ult(const Bus& a, const Bus& x) {
+  NetId cout;
+  sub(a, x, &cout);
+  return b_.inv(cout);  // no carry-out => borrow => a < x
+}
+
+NetId Word::slt(const Bus& a, const Bus& x) {
+  NetId cout;
+  Bus d = sub(a, x, &cout);
+  // slt = sign(diff) XOR overflow; overflow = (sign(a)!=sign(x)) && sign(d)!=sign(a)
+  NetId sa = a.back(), sx = x.back(), sd = d.back();
+  NetId diff_sign = b_.xor_(sa, sx);
+  NetId ovf = b_.and_({diff_sign, b_.xor_(sd, sa)});
+  return b_.xor_(sd, ovf);
+}
+
+Bus Word::decode(const Bus& sel) {
+  size_t n = size_t{1} << sel.size();
+  Bus inv;
+  for (NetId s : sel) inv.push_back(b_.inv(s));
+  Bus out;
+  for (size_t v = 0; v < n; ++v) {
+    std::vector<NetId> terms;
+    for (size_t i = 0; i < sel.size(); ++i) {
+      terms.push_back((v >> i) & 1 ? sel[i] : inv[i]);
+    }
+    out.push_back(terms.size() == 1 ? b_.buf(terms[0]) : b_.and_(terms));
+  }
+  return out;
+}
+
+Bus Word::mux_n(const std::vector<Bus>& choices, const Bus& sel) {
+  DESYN_ASSERT(!choices.empty());
+  size_t width = choices[0].size();
+  Bus onehot = decode(sel);
+  Bus out;
+  for (size_t bit = 0; bit < width; ++bit) {
+    std::vector<NetId> terms;
+    for (size_t c = 0; c < choices.size(); ++c) {
+      DESYN_ASSERT(choices[c].size() == width);
+      terms.push_back(b_.and_({onehot[c], choices[c][bit]}));
+    }
+    out.push_back(terms.size() == 1 ? b_.buf(terms[0]) : b_.or_(terms));
+  }
+  return out;
+}
+
+Bus Word::shl_const(const Bus& a, int amount) {
+  Bus out;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int src = static_cast<int>(i) - amount;
+    out.push_back(src >= 0 ? a[static_cast<size_t>(src)] : b_.lo());
+  }
+  return out;
+}
+
+Bus Word::reg(const Bus& d, NetId clk, uint64_t init, std::string_view name) {
+  // "_r" (not ".r") keeps all fields named "<stage>.<field>" in the same
+  // "<stage>" control bank under prefix grouping.
+  Bus q;
+  for (size_t i = 0; i < d.size(); ++i) {
+    q.push_back(b_.dff(d[i], clk,
+                       (init >> i) & 1 ? cell::V::V1 : cell::V::V0,
+                       cat(name, "_r", i)));
+  }
+  return q;
+}
+
+Bus Word::slice(const Bus& a, int lo, int width) const {
+  DESYN_ASSERT(lo >= 0 && lo + width <= static_cast<int>(a.size()));
+  return Bus(a.begin() + lo, a.begin() + lo + width);
+}
+
+Bus Word::cat2(const Bus& lo, const Bus& hi) const {
+  Bus out = lo;
+  out.insert(out.end(), hi.begin(), hi.end());
+  return out;
+}
+
+Bus Word::sign_extend(const Bus& a, int width) {
+  Bus out = a;
+  while (static_cast<int>(out.size()) < width) out.push_back(a.back());
+  return out;
+}
+
+Bus Word::zero_extend(const Bus& a, int width) {
+  Bus out = a;
+  while (static_cast<int>(out.size()) < width) out.push_back(b_.lo());
+  return out;
+}
+
+Bus Word::gate(const Bus& a, NetId en) {
+  Bus out;
+  for (NetId n : a) out.push_back(b_.and_({n, en}));
+  return out;
+}
+
+}  // namespace desyn::rtl

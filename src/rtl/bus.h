@@ -1,0 +1,84 @@
+// Word-level construction on top of the gate-level Builder.
+//
+// A Bus is a vector of nets, LSB first. Word wraps a Builder and provides
+// the vocabulary needed to assemble datapaths (the DLX generator and the
+// benchmark circuits are its clients); everything lowers to library gates.
+#pragma once
+
+#include "netlist/builder.h"
+
+namespace desyn::rtl {
+
+using Bus = std::vector<nl::NetId>;
+
+class Word {
+ public:
+  explicit Word(nl::Builder& b) : b_(b) {}
+
+  nl::Builder& builder() { return b_; }
+
+  // ---- ports / constants ---------------------------------------------------
+  Bus input(std::string_view name, int width);
+  void output(const Bus& bus);
+  Bus constant(uint64_t value, int width);
+
+  // ---- bitwise ---------------------------------------------------------------
+  Bus not_(const Bus& a);
+  Bus and_(const Bus& a, const Bus& x);
+  Bus or_(const Bus& a, const Bus& x);
+  Bus xor_(const Bus& a, const Bus& x);
+  /// Bitwise select: sel ? b : a.
+  Bus mux(const Bus& a, const Bus& x, nl::NetId sel);
+
+  // ---- arithmetic -------------------------------------------------------------
+  /// Ripple-carry sum; carry-out stored in *cout when non-null.
+  Bus add(const Bus& a, const Bus& x, nl::NetId cin = nl::NetId::invalid(),
+          nl::NetId* cout = nullptr);
+  /// a - x (two's complement).
+  Bus sub(const Bus& a, const Bus& x, nl::NetId* cout = nullptr);
+
+  // ---- comparison --------------------------------------------------------------
+  nl::NetId eq(const Bus& a, const Bus& x);
+  nl::NetId is_zero(const Bus& a);
+  /// Unsigned a < x.
+  nl::NetId ult(const Bus& a, const Bus& x);
+  /// Signed a < x.
+  nl::NetId slt(const Bus& a, const Bus& x);
+
+  // ---- selection ----------------------------------------------------------------
+  /// One-hot decode of `sel` (2^width outputs).
+  Bus decode(const Bus& sel);
+  /// Wide mux: choices[i] selected when sel == i. Missing choices read 0.
+  Bus mux_n(const std::vector<Bus>& choices, const Bus& sel);
+
+  // ---- shifts (constant amount) ---------------------------------------------------
+  Bus shl_const(const Bus& a, int amount);
+
+  // ---- storage ------------------------------------------------------------------
+  /// Bank of D flip-flops named "<name>.r<i>" (bank grouping keys on the
+  /// prefix, so all bits land in one control bank).
+  Bus reg(const Bus& d, nl::NetId clk, uint64_t init, std::string_view name);
+
+  // ---- misc ---------------------------------------------------------------------
+  Bus slice(const Bus& a, int lo, int width) const;
+  Bus cat2(const Bus& lo, const Bus& hi) const;  // lo bits first
+  Bus sign_extend(const Bus& a, int width);
+  Bus zero_extend(const Bus& a, int width);
+  /// AND every bit of `a` with `en`.
+  Bus gate(const Bus& a, nl::NetId en);
+
+ private:
+  nl::Builder& b_;
+};
+
+/// Register file with one write port and `read_ports` combinational read
+/// ports, built from flip-flops + decoder + mux trees. Register 0 is
+/// hardwired to zero (reads return 0; writes to it are ignored).
+struct RegFile {
+  std::vector<Bus> read_data;  ///< per read port
+};
+RegFile regfile(Word& w, nl::NetId clk, int regs, int width,
+                const Bus& waddr, const Bus& wdata, nl::NetId we,
+                const std::vector<Bus>& raddrs, std::string_view name);
+
+}  // namespace desyn::rtl

@@ -1,0 +1,50 @@
+#include "rtl/bus.h"
+
+namespace desyn::rtl {
+
+RegFile regfile(Word& w, nl::NetId clk, int regs, int width,
+                const Bus& waddr, const Bus& wdata, nl::NetId we,
+                const std::vector<Bus>& raddrs, std::string_view name) {
+  DESYN_ASSERT(regs >= 2 && (regs & (regs - 1)) == 0, "regs must be 2^k");
+  DESYN_ASSERT((size_t{1} << waddr.size()) >= static_cast<size_t>(regs));
+  nl::Builder& b = w.builder();
+
+  Bus wsel = w.decode(waddr);
+  std::vector<Bus> qs(static_cast<size_t>(regs));
+  // Register 0 is constant zero.
+  qs[0] = w.constant(0, width);
+  for (int r = 1; r < regs; ++r) {
+    nl::NetId en = b.and_({we, wsel[static_cast<size_t>(r)]});
+    // Write port: per-bit recirculating mux (hold unless selected).
+    Bus cur(static_cast<size_t>(width));
+    Bus d(static_cast<size_t>(width));
+    // Create q nets first so the recirculating mux can reference them. The
+    // "<name>.x<r>_*" naming keeps the whole file in one control bank
+    // (prefix "<name>"), like a register-file macro.
+    Bus q;
+    for (int i = 0; i < width; ++i) {
+      q.push_back(b.netlist().add_net(cat(name, ".x", r, "_q", i)));
+    }
+    for (int i = 0; i < width; ++i) {
+      d[static_cast<size_t>(i)] =
+          b.mux2(q[static_cast<size_t>(i)], wdata[static_cast<size_t>(i)], en);
+      b.netlist().add_cell(cell::Kind::Dff, cat(name, ".x", r, "_r", i),
+                           {d[static_cast<size_t>(i)], clk},
+                           {q[static_cast<size_t>(i)]}, cell::V::V0);
+    }
+    (void)cur;
+    qs[static_cast<size_t>(r)] = q;
+  }
+
+  RegFile rf;
+  for (const Bus& ra : raddrs) {
+    Bus sel = w.slice(ra, 0, static_cast<int>(ra.size()));
+    // Truncate the select to log2(regs) bits.
+    int bits = 0;
+    while ((1 << bits) < regs) ++bits;
+    rf.read_data.push_back(w.mux_n(qs, w.slice(sel, 0, bits)));
+  }
+  return rf;
+}
+
+}  // namespace desyn::rtl

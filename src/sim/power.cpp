@@ -1,0 +1,76 @@
+#include "sim/power.h"
+
+#include <vector>
+
+namespace desyn::sim {
+
+namespace {
+
+/// True when `p` is the clocking pin of a storage cell (latch EN, FF CK,
+/// RAM CK).
+bool is_clock_pin(const nl::Netlist& nl, const nl::Pin& p) {
+  switch (nl.cell(p.cell).kind) {
+    case cell::Kind::Latch:
+    case cell::Kind::LatchN:
+    case cell::Kind::Dff:
+      return p.index == 1;
+    case cell::Kind::Ram:
+      return p.index == 0;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+PowerReport estimate_power(const Simulator& sim, const cell::Tech& tech,
+                           std::span<const nl::NetId> clock_nets,
+                           std::span<const nl::NetId> global_nets) {
+  const nl::Netlist& nl = sim.netlist();
+  PowerReport rep;
+  rep.window = sim.now() - sim.activity_window_start();
+  if (rep.window <= 0) return rep;
+
+  std::vector<bool> is_clock(nl.num_nets(), false);
+  for (nl::NetId n : clock_nets) is_clock[n.value()] = true;
+  std::vector<bool> is_global(nl.num_nets(), false);
+  for (nl::NetId n : global_nets) is_global[n.value()] = true;
+
+  const double v2 = tech.voltage() * tech.voltage();
+  double total_fj = 0, switching_fj = 0, internal_fj = 0, clock_fj = 0;
+
+  for (uint32_t ni = 0; ni < nl.num_nets(); ++ni) {
+    nl::NetId net(ni);
+    uint64_t tg = sim.toggles(net);
+    if (tg == 0) continue;
+    const nl::NetData& nd = nl.net(net);
+    Ff cap = tech.wire_cap(static_cast<int>(nd.fanout.size()));
+    if (is_global[ni]) cap *= tech.global_wire_factor();
+    double e_int = 0;
+    for (const nl::Pin& p : nd.fanout) {
+      cap += tech.input_cap(nl.cell(p.cell).kind);
+      if (is_clock_pin(nl, p)) {
+        e_int += tech.spec(nl.cell(p.cell).kind).clock_energy *
+                 static_cast<double>(tg);
+      }
+    }
+    double e_net = 0.5 * cap * v2 * static_cast<double>(tg);
+    if (nd.driver.valid()) {
+      e_int += tech.spec(nl.cell(nd.driver).kind).energy *
+               static_cast<double>(tg);
+    }
+    switching_fj += e_net;
+    internal_fj += e_int;
+    total_fj += e_net + e_int;
+    if (is_clock[ni]) clock_fj += e_net + e_int;
+  }
+
+  const double w = static_cast<double>(rep.window);
+  rep.net_switching_mw = switching_fj / w;
+  rep.cell_internal_mw = internal_fj / w;
+  rep.total_mw = total_fj / w;
+  rep.clock_network_mw = clock_fj / w;
+  return rep;
+}
+
+}  // namespace desyn::sim

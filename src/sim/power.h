@@ -1,0 +1,36 @@
+// Dynamic power estimation from simulated switching activity.
+//
+// Energy per net transition = 1/2 * C * V^2 with C = fanout wireload +
+// the input-pin capacitances the net drives, plus the driving cell's
+// internal energy per output transition. 1 fJ/ps == 1 mW, so the report is
+// in milliwatts directly.
+#pragma once
+
+#include <span>
+
+#include "sim/sim.h"
+
+namespace desyn::sim {
+
+struct PowerReport {
+  double total_mw = 0;
+  double net_switching_mw = 0;   ///< wire + pin capacitance charging
+  double cell_internal_mw = 0;   ///< per-transition internal energy
+  double clock_network_mw = 0;   ///< subset of total attributed to `clock_nets`
+  Ps window = 0;                 ///< measurement window length (ps)
+};
+
+/// Estimate average dynamic power over the activity window (since the last
+/// clear_activity()). `clock_nets` selects nets whose dissipation is
+/// reported separately (clock tree for the sync design; controller +
+/// matched-delay nets for the desynchronized one). `global_nets` marks nets
+/// with chip-spanning routing (a clock tree) whose wireload is scaled by
+/// Tech::global_wire_factor(); local control wiring is not.
+///
+/// Storage cells additionally burn their `clock_energy` on every transition
+/// of their CK/EN pin (internal clocking, paid even when data is idle).
+PowerReport estimate_power(const Simulator& sim, const cell::Tech& tech,
+                           std::span<const nl::NetId> clock_nets = {},
+                           std::span<const nl::NetId> global_nets = {});
+
+}  // namespace desyn::sim

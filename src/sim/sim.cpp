@@ -1,0 +1,357 @@
+#include "sim/sim.h"
+
+#include <algorithm>
+
+#include "netlist/query.h"
+
+namespace desyn::sim {
+
+using cell::Kind;
+using nl::CellId;
+using nl::NetId;
+using nl::Pin;
+
+Simulator::Simulator(const nl::Netlist& nl, const cell::Tech& tech)
+    : nl_(nl), tech_(tech) {
+  val_.assign(nl_.num_nets(), V::VX);
+  last_change_.assign(nl_.num_nets(), -1);
+  toggles_.assign(nl_.num_nets(), 0);
+  version_.assign(nl_.num_nets(), 0);
+  pending_.assign(nl_.num_nets(), 0);
+  delay_.resize(nl_.num_cells(), 0);
+  for (CellId c : nl_.cells()) delay_[c.value()] = cell_delay(c);
+  settle_initial_state();
+}
+
+Ps Simulator::cell_delay(CellId c) const {
+  const nl::CellData& cd = nl_.cell(c);
+  size_t fanout = 0;
+  for (NetId o : cd.outs) fanout = std::max(fanout, nl_.net(o).fanout.size());
+  return tech_.delay(cd.kind, static_cast<int>(cd.ins.size()),
+                     static_cast<int>(fanout));
+}
+
+namespace {
+
+/// Gathers current input values of a cell into `buf`.
+void gather(const std::vector<V>& val, const nl::CellData& cd,
+            std::vector<V>& buf) {
+  buf.clear();
+  for (NetId in : cd.ins) buf.push_back(val[in.value()]);
+}
+
+/// Decodes an address from bit nets (index 0 = LSB). Returns false on X.
+bool decode_addr(const std::vector<V>& val, const std::vector<NetId>& ins,
+                 size_t begin, size_t bits, uint64_t* addr) {
+  uint64_t a = 0;
+  for (size_t i = 0; i < bits; ++i) {
+    V v = val[ins[begin + i].value()];
+    if (v == V::VX) return false;
+    if (v == V::V1) a |= (1ull << i);
+  }
+  *addr = a;
+  return true;
+}
+
+}  // namespace
+
+void Simulator::settle_initial_state() {
+  // Reset state: storage and state-holding outputs take their init value;
+  // RAM contents copy their payload.
+  for (CellId c : nl_.cells()) {
+    const nl::CellData& cd = nl_.cell(c);
+    if (cd.kind == Kind::Ram) {
+      ram_state_[c.value()] = nl_.payload(cd.payload);
+      continue;
+    }
+    if (cell::is_storage(cd.kind) || cell::is_state_holding(cd.kind)) {
+      for (NetId o : cd.outs) val_[o.value()] = cd.init;
+    }
+  }
+  // Combinational settle in topological order (zero time).
+  std::vector<V> buf;
+  for (CellId c : nl::topo_order(nl_)) {
+    const nl::CellData& cd = nl_.cell(c);
+    if (cell::is_combinational(cd.kind) && cd.kind != Kind::Rom) {
+      gather(val_, cd, buf);
+      val_[cd.outs[0].value()] = cell::eval_comb(cd.kind, buf);
+    } else if (cd.kind == Kind::Rom || cd.kind == Kind::Ram) {
+      size_t ra_begin = cd.kind == Kind::Rom ? 0 : size_t{2} + cd.p0 + cd.p1;
+      uint64_t addr = 0;
+      bool known = decode_addr(val_, cd.ins, ra_begin, cd.p0, &addr);
+      const auto& mem = cd.kind == Kind::Rom ? nl_.payload(cd.payload)
+                                             : ram_state_.at(c.value());
+      for (size_t b = 0; b < cd.outs.size(); ++b) {
+        val_[cd.outs[b].value()] =
+            known ? cell::from_bool((mem[addr] >> b) & 1) : V::VX;
+      }
+    }
+  }
+  // Kick state elements whose settled inputs already disagree with their
+  // reset output (transparent latches, enabled C-elements). This models the
+  // release of reset: the circuit starts moving on its own.
+  for (CellId c : nl_.cells()) {
+    const nl::CellData& cd = nl_.cell(c);
+    if (cell::is_latch(cd.kind)) {
+      V t = cd.kind == Kind::Latch ? V::V1 : V::V0;
+      if (val_[cd.ins[1].value()] == t) {
+        V d = val_[cd.ins[0].value()];
+        if (d != val_[cd.outs[0].value()]) {
+          schedule(cd.outs[0], d, delay_[c.value()]);
+        }
+      }
+    } else if (cell::is_state_holding(cd.kind)) {
+      std::vector<V> b;
+      gather(val_, cd, b);
+      V nv = cell::eval_state_holding(cd.kind, b, val_[cd.outs[0].value()]);
+      if (nv != val_[cd.outs[0].value()]) {
+        schedule(cd.outs[0], nv, delay_[c.value()]);
+      }
+    }
+  }
+}
+
+void Simulator::schedule(NetId net, V v, Ps at) {
+  // No-op evaluations with nothing in flight need no event.
+  if (v == val_[net.value()] && !pending_[net.value()]) return;
+  // Inertial: a newer decision for the same net supersedes pending ones.
+  ++version_[net.value()];
+  pending_[net.value()] = 1;
+  queue_.push(Event{at, seq_++, net, v, version_[net.value()]});
+}
+
+void Simulator::set_input(NetId net, V v, Ps at) {
+  DESYN_ASSERT(nl_.is_primary_input(net), "set_input on non-input net ",
+               nl_.net(net).name);
+  DESYN_ASSERT(at >= now_);
+  // Transport semantics: stimulus events do not cancel each other, so a
+  // whole waveform can be scheduled up front. The event carries the version
+  // current at *application* time; stimulus nets are never cell-driven, so
+  // their version never advances.
+  queue_.push(Event{at, seq_++, net, v, version_[net.value()]});
+}
+
+void Simulator::add_clock(NetId net, Ps period, Ps first_rise) {
+  DESYN_ASSERT(period > 0 && period % 2 == 0, "clock period must be even");
+  DESYN_ASSERT(nl_.is_primary_input(net));
+  set_input(net, V::V0, now_);
+  set_input(net, V::V1, first_rise);
+  clocks_.push_back(Clock{net, period / 2});
+}
+
+void Simulator::watch(NetId net, Watcher w) {
+  watchers_[net.value()].push_back(std::move(w));
+}
+
+void Simulator::clear_activity() {
+  std::fill(toggles_.begin(), toggles_.end(), 0);
+  window_start_ = now_;
+}
+
+uint64_t Simulator::ram_word(CellId ram, uint64_t addr) const {
+  const auto& mem = ram_state_.at(ram.value());
+  DESYN_ASSERT(addr < mem.size());
+  return mem[addr];
+}
+
+void Simulator::run_until(Ps t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Event ev = queue_.top();
+    queue_.pop();
+    DESYN_ASSERT(ev.time >= now_);
+    now_ = ev.time;
+    apply(ev);
+  }
+  now_ = std::max(now_, t);
+}
+
+bool Simulator::run_until_quiet(Ps max_t) {
+  while (!queue_.empty() && queue_.top().time <= max_t) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    apply(ev);
+  }
+  if (queue_.empty()) return true;
+  now_ = max_t;
+  return false;
+}
+
+void Simulator::apply(const Event& ev) {
+  ++events_processed_;
+  if (ev.version != version_[ev.net.value()]) return;  // superseded
+  pending_[ev.net.value()] = 0;
+  V oldv = val_[ev.net.value()];
+  if (ev.value == oldv) return;
+  val_[ev.net.value()] = ev.value;
+  last_change_[ev.net.value()] = ev.time;
+  if (oldv != V::VX && ev.value != V::VX) ++toggles_[ev.net.value()];
+
+  // Self-sustaining clocks reschedule their own next toggle. The initial
+  // X->0 reset assignment does not count as an edge.
+  for (const Clock& ck : clocks_) {
+    if (ck.net == ev.net && ev.value != V::VX && oldv != V::VX) {
+      V nxt = ev.value == V::V1 ? V::V0 : V::V1;
+      queue_.push(Event{ev.time + ck.half_period, seq_++, ck.net, nxt,
+                        version_[ck.net.value()]});
+      break;
+    }
+  }
+
+  if (auto it = watchers_.find(ev.net.value()); it != watchers_.end()) {
+    for (const Watcher& w : it->second) w(ev.time, ev.value);
+  }
+  for (const Pin& p : nl_.net(ev.net).fanout) {
+    evaluate_pin(p, oldv);
+  }
+}
+
+void Simulator::check_setup(CellId c, Ps edge_time) {
+  const nl::CellData& cd = nl_.cell(c);
+  Ps setup = cell::is_latch(cd.kind) ? tech_.latch_setup() : tech_.dff_setup();
+  size_t lo = 0, hi = 0;
+  switch (cd.kind) {
+    case Kind::Latch:
+    case Kind::LatchN:
+    case Kind::Dff:
+      lo = 0;
+      hi = 1;
+      break;
+    case Kind::Ram:
+      lo = 1;
+      hi = size_t{2} + cd.p0 + cd.p1;
+      break;
+    default:
+      return;
+  }
+  for (size_t i = lo; i < hi; ++i) {
+    Ps lc = last_change_[cd.ins[i].value()];
+    if (lc < 0) continue;
+    Ps slack = (edge_time - lc) - setup;
+    if (slack < 0) {
+      ++violation_count_;
+      if (violations_.size() < kMaxRecordedViolations) {
+        violations_.push_back(SetupViolation{edge_time, c, cd.ins[i], slack});
+      }
+    }
+  }
+}
+
+void Simulator::evaluate_pin(Pin p, V oldv) {
+  const nl::CellData& cd = nl_.cell(p.cell);
+  const Ps d = delay_[p.cell.value()];
+  switch (cd.kind) {
+    case Kind::Dff: {
+      if (p.index == 1) {  // CK
+        V nv = val_[cd.ins[1].value()];
+        if (oldv == V::V0 && nv == V::V1) {
+          check_setup(p.cell, now_);
+          schedule(cd.outs[0], val_[cd.ins[0].value()], now_ + d);
+        }
+      }
+      return;
+    }
+    case Kind::Latch:
+    case Kind::LatchN: {
+      const V t = cd.kind == Kind::Latch ? V::V1 : V::V0;
+      const V en = val_[cd.ins[1].value()];
+      if (p.index == 1) {  // EN edge
+        if (en == t) {
+          schedule(cd.outs[0], val_[cd.ins[0].value()], now_ + d);
+        } else if (oldv == t) {
+          check_setup(p.cell, now_);  // closing edge captures
+        }
+      } else if (p.index == 0 && en == t) {  // D moves while transparent
+        schedule(cd.outs[0], val_[cd.ins[0].value()], now_ + d);
+      }
+      return;
+    }
+    case Kind::Ram: {
+      const size_t ra_begin = size_t{2} + cd.p0 + cd.p1;
+      bool read_dirty = p.index >= ra_begin;
+      if (p.index == 0) {  // CK
+        V nv = val_[cd.ins[0].value()];
+        if (oldv == V::V0 && nv == V::V1) {
+          check_setup(p.cell, now_);
+          if (val_[cd.ins[1].value()] == V::V1) {  // WE
+            uint64_t wa = 0;
+            if (decode_addr(val_, cd.ins, 2, cd.p0, &wa)) {
+              uint64_t word = 0;
+              bool known = true;
+              for (size_t b = 0; b < cd.p1; ++b) {
+                V v = val_[cd.ins[2 + cd.p0 + b].value()];
+                if (v == V::VX) known = false;
+                if (v == V::V1) word |= (1ull << b);
+              }
+              if (known) {
+                ram_state_[p.cell.value()][wa] = word;
+                read_dirty = true;  // write-through visibility
+              }
+            }
+          }
+        }
+      }
+      if (read_dirty) {
+        uint64_t ra = 0;
+        bool known = decode_addr(val_, cd.ins, ra_begin, cd.p0, &ra);
+        const auto& mem = ram_state_.at(p.cell.value());
+        for (size_t b = 0; b < cd.outs.size(); ++b) {
+          V v = known ? cell::from_bool((mem[ra] >> b) & 1) : V::VX;
+          schedule(cd.outs[b], v, now_ + d);
+        }
+      }
+      return;
+    }
+    case Kind::Rom: {
+      uint64_t a = 0;
+      bool known = decode_addr(val_, cd.ins, 0, cd.p0, &a);
+      const auto& mem = nl_.payload(cd.payload);
+      for (size_t b = 0; b < cd.outs.size(); ++b) {
+        V v = known ? cell::from_bool((mem[a] >> b) & 1) : V::VX;
+        schedule(cd.outs[b], v, now_ + d);
+      }
+      return;
+    }
+    case Kind::CElem:
+    case Kind::Gc: {
+      std::vector<V> buf;
+      gather(val_, cd, buf);
+      V nv = cell::eval_state_holding(cd.kind, buf,
+                                      val_[cd.outs[0].value()]);
+      schedule(cd.outs[0], nv, now_ + d);
+      return;
+    }
+    default: {
+      std::vector<V> buf;
+      gather(val_, cd, buf);
+      schedule(cd.outs[0], cell::eval_comb(cd.kind, buf), now_ + d);
+      return;
+    }
+  }
+}
+
+}  // namespace desyn::sim
+
+namespace desyn::sim {
+
+uint64_t read_word(const Simulator& sim, std::span<const nl::NetId> bus,
+                   bool* has_x) {
+  uint64_t v = 0;
+  bool x = false;
+  for (size_t i = 0; i < bus.size(); ++i) {
+    V bit = sim.value(bus[i]);
+    if (bit == V::V1) v |= (1ull << i);
+    if (bit == V::VX) x = true;
+  }
+  if (has_x) *has_x = x;
+  return v;
+}
+
+void poke_word(Simulator& sim, std::span<const nl::NetId> bus, uint64_t value,
+               Ps at) {
+  for (size_t i = 0; i < bus.size(); ++i) {
+    sim.set_input(bus[i], (value >> i) & 1 ? V::V1 : V::V0, at);
+  }
+}
+
+}  // namespace desyn::sim

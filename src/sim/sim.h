@@ -1,0 +1,151 @@
+// Event-driven gate-level simulator with three-valued logic (0/1/X) and
+// per-cell inertial delays taken from the technology library.
+//
+// Delays are identical to what STA assumes (both call Tech::delay with the
+// instance's arity and fanout), so analytic and simulated timing agree.
+//
+// Semantics:
+//  * Nets initialize to X; tie cells, storage `init` values and
+//    state-holding cells' `init` establish the reset state, which is then
+//    settled combinationally at t=0 (models the end of a reset sequence).
+//  * A cell re-evaluates whenever one of its (relevant) inputs changes and
+//    schedules its output(s) after its propagation delay. Re-evaluation
+//    before the pending event matures overwrites it (inertial delay:
+//    too-narrow pulses are swallowed).
+//  * DFF samples D on the rising edge of CK; RAM commits a write on the
+//    rising edge of CK when WE=1; latches are transparent at EN=1 (Latch) /
+//    EN=0 (LatchN).
+//  * Setup checks: a capture edge (FF CK rise, latch closing edge, RAM CK
+//    rise) with a data input that changed less than `setup` ago is recorded
+//    as a violation. The margin bench uses this to find the failure point
+//    of under-sized matched delays.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <span>
+#include <unordered_map>
+
+#include "cell/tech.h"
+#include "netlist/netlist.h"
+
+namespace desyn::sim {
+
+using cell::V;
+
+struct SetupViolation {
+  Ps at = 0;             ///< capture edge time
+  nl::CellId cell;       ///< capturing storage cell
+  nl::NetId data_net;    ///< offending data net
+  Ps slack = 0;          ///< (negative) setup slack observed
+};
+
+class Simulator {
+ public:
+  Simulator(const nl::Netlist& nl, const cell::Tech& tech);
+
+  const nl::Netlist& netlist() const { return nl_; }
+
+  // ---- stimulus -----------------------------------------------------------
+
+  /// Schedule a primary-input change at absolute time `at` (>= now).
+  void set_input(nl::NetId net, V v, Ps at);
+  /// Free-running clock on a primary input: first rising edge at
+  /// `first_rise`, then toggling every period/2. The clock sustains itself
+  /// until the simulation stops.
+  void add_clock(nl::NetId net, Ps period, Ps first_rise);
+
+  // ---- execution ----------------------------------------------------------
+
+  /// Process events up to and including time `t`.
+  void run_until(Ps t);
+  /// Run until no events remain or `max_t` is reached. Returns true if the
+  /// circuit quiesced (self-clocking circuits and circuits with clocks
+  /// never do).
+  bool run_until_quiet(Ps max_t);
+  Ps now() const { return now_; }
+
+  // ---- observation --------------------------------------------------------
+
+  V value(nl::NetId net) const { return val_[net.value()]; }
+  /// 0<->1 transition count since construction / clear_activity().
+  uint64_t toggles(nl::NetId net) const { return toggles_[net.value()]; }
+  /// Reset all toggle counters and the activity window (for steady-state
+  /// power measurement).
+  void clear_activity();
+  /// Time of the last clear_activity() (start of the measurement window).
+  Ps activity_window_start() const { return window_start_; }
+
+  using Watcher = std::function<void(Ps, V)>;
+  /// Invoke `w` after every applied value change of `net`.
+  void watch(nl::NetId net, Watcher w);
+
+  const std::vector<SetupViolation>& setup_violations() const {
+    return violations_;
+  }
+  uint64_t setup_violation_count() const { return violation_count_; }
+
+  uint64_t events_processed() const { return events_processed_; }
+
+  /// Current contents word of a RAM cell (for testbench inspection).
+  uint64_t ram_word(nl::CellId ram, uint64_t addr) const;
+
+ private:
+  struct Event {
+    Ps time;
+    uint64_t seq;  // FIFO tie-break for equal times
+    nl::NetId net;
+    V value;
+    uint64_t version;
+    friend bool operator>(const Event& a, const Event& b) {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  void schedule(nl::NetId net, V v, Ps at);
+  void apply(const Event& ev);
+  void evaluate_pin(nl::Pin p, V old_cause);
+  void settle_initial_state();
+  Ps cell_delay(nl::CellId c) const;
+  void check_setup(nl::CellId c, Ps edge_time);
+
+  const nl::Netlist& nl_;
+  const cell::Tech& tech_;
+
+  std::vector<V> val_;             // per net
+  std::vector<Ps> last_change_;    // per net, for setup checks
+  std::vector<uint64_t> toggles_;  // per net
+  std::vector<uint64_t> version_;  // per net, pending-event version
+  std::vector<uint8_t> pending_;   // per net, 1 if latest schedule not applied
+  std::vector<Ps> delay_;          // per cell, cached
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  uint64_t seq_ = 0;
+
+  std::unordered_map<uint32_t, std::vector<uint64_t>> ram_state_;  // by cell
+  std::unordered_map<uint32_t, std::vector<Watcher>> watchers_;    // by net
+
+  struct Clock {
+    nl::NetId net;
+    Ps half_period;
+  };
+  std::vector<Clock> clocks_;
+
+  std::vector<SetupViolation> violations_;
+  uint64_t violation_count_ = 0;
+  static constexpr size_t kMaxRecordedViolations = 64;
+
+  Ps now_ = 0;
+  Ps window_start_ = 0;
+  uint64_t events_processed_ = 0;
+};
+
+/// Read a little-endian word off a bus of nets (LSB first). X bits read as 0;
+/// *has_x reports whether any bit was unknown.
+uint64_t read_word(const Simulator& sim, std::span<const nl::NetId> bus,
+                   bool* has_x = nullptr);
+
+/// Schedule a word onto a bus of primary inputs at time `at`.
+void poke_word(Simulator& sim, std::span<const nl::NetId> bus, uint64_t value,
+               Ps at);
+
+}  // namespace desyn::sim

@@ -1,0 +1,53 @@
+#include "sim/vcd.h"
+
+#include <ostream>
+
+namespace desyn::sim {
+
+std::string VcdWriter::code_for(size_t index) {
+  // Base-94 over printable ASCII '!'..'~'.
+  std::string s;
+  do {
+    s += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index > 0);
+  return s;
+}
+
+VcdWriter::VcdWriter(Simulator& sim, std::ostream& os,
+                     std::vector<nl::NetId> nets)
+    : sim_(sim), os_(os), nets_(std::move(nets)) {
+  os_ << "$timescale 1ps $end\n$scope module "
+      << sim_.netlist().name() << " $end\n";
+  for (size_t i = 0; i < nets_.size(); ++i) {
+    std::string name = sim_.netlist().net(nets_[i]).name;
+    for (char& c : name) {
+      if (c == ' ') c = '_';
+    }
+    os_ << "$var wire 1 " << code_for(i) << " " << name << " $end\n";
+  }
+  os_ << "$upscope $end\n$enddefinitions $end\n";
+  os_ << "#0\n$dumpvars\n";
+  for (size_t i = 0; i < nets_.size(); ++i) {
+    os_ << cell::to_char(sim_.value(nets_[i])) << code_for(i) << "\n";
+  }
+  os_ << "$end\n";
+  last_time_ = 0;
+  for (size_t i = 0; i < nets_.size(); ++i) {
+    std::string code = code_for(i);
+    sim_.watch(nets_[i], [this, code](Ps t, V v) {
+      if (t != last_time_) {
+        os_ << "#" << t << "\n";
+        last_time_ = t;
+      }
+      os_ << cell::to_char(v) << code << "\n";
+    });
+  }
+}
+
+void VcdWriter::finish() {
+  os_ << "#" << sim_.now() << "\n";
+  os_.flush();
+}
+
+}  // namespace desyn::sim

@@ -1,0 +1,29 @@
+// VCD (value change dump) writer: subscribe to nets and stream their
+// changes in standard VCD format for waveform viewers.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "sim/sim.h"
+
+namespace desyn::sim {
+
+class VcdWriter {
+ public:
+  /// Registers watchers on `nets`; the header and initial values are
+  /// emitted immediately. The stream must outlive the simulation run.
+  VcdWriter(Simulator& sim, std::ostream& os, std::vector<nl::NetId> nets);
+
+  /// Emit the final timestamp. Call after the last run_until().
+  void finish();
+
+ private:
+  static std::string code_for(size_t index);
+  Simulator& sim_;
+  std::ostream& os_;
+  std::vector<nl::NetId> nets_;
+  Ps last_time_ = -1;
+};
+
+}  // namespace desyn::sim

@@ -1,0 +1,37 @@
+#include "sta/paths.h"
+
+namespace desyn::sta {
+
+std::string format_path(const nl::Netlist& nl, const std::vector<Ps>& arr,
+                        const std::vector<nl::NetId>& path) {
+  std::ostringstream os;
+  for (nl::NetId n : path) {
+    os << "  @ " << arr[n.value()] << "ps  " << nl.net(n).name;
+    nl::CellId drv = nl.net(n).driver;
+    if (drv.valid()) {
+      os << "  (" << cell::kind_name(nl.cell(drv).kind) << " "
+         << nl.cell(drv).name << ")";
+    } else {
+      os << "  (primary input)";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string format_period_report(const nl::Netlist& nl,
+                                 const Sta::PeriodReport& rep) {
+  std::ostringstream os;
+  os << "min clock period: " << rep.min_period << " ps";
+  os << " (worst path " << rep.worst_path << " ps";
+  if (rep.worst_launch.valid()) {
+    os << ", launch " << nl.cell(rep.worst_launch).name;
+  }
+  if (rep.worst_capture.valid()) {
+    os << ", capture " << nl.cell(rep.worst_capture).name;
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace desyn::sta

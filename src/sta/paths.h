@@ -1,0 +1,18 @@
+// Human-readable timing reports.
+#pragma once
+
+#include <string>
+
+#include "sta/sta.h"
+
+namespace desyn::sta {
+
+/// One line per net on the path: "  @ 1234ps  net_name  (CELLKIND cell)".
+std::string format_path(const nl::Netlist& nl, const std::vector<Ps>& arr,
+                        const std::vector<nl::NetId>& path);
+
+/// Summary of a PeriodReport ("min period 4400ps, launch ..., capture ...").
+std::string format_period_report(const nl::Netlist& nl,
+                                 const Sta::PeriodReport& rep);
+
+}  // namespace desyn::sta

@@ -1,0 +1,172 @@
+#include "sta/sta.h"
+
+#include <algorithm>
+
+#include "netlist/query.h"
+
+namespace desyn::sta {
+
+using cell::Kind;
+using nl::CellId;
+using nl::NetId;
+
+namespace {
+
+/// Cells STA propagates through combinationally.
+bool propagates(Kind k) {
+  return cell::is_combinational(k) || k == Kind::Ram;
+}
+
+/// True if input pin `i` of a cell participates in combinational
+/// propagation (for RAM only the read-address pins do).
+bool pin_propagates(const nl::CellData& cd, size_t i) {
+  if (cd.kind != Kind::Ram) return true;
+  size_t ra_begin = 2 + cd.p0 + cd.p1;
+  return i >= ra_begin;
+}
+
+/// True if input pin `i` is a *data* capture endpoint with a setup
+/// requirement (D of latch/FF; WE/WA/WD of RAM).
+bool pin_is_data_endpoint(const nl::CellData& cd, size_t i) {
+  switch (cd.kind) {
+    case Kind::Latch:
+    case Kind::LatchN:
+    case Kind::Dff:
+      return i == 0;  // D; pin 1 is EN/CK
+    case Kind::Ram:
+      return i >= 1 && i < size_t{2} + cd.p0 + cd.p1;  // WE, WA, WD
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Sta::Sta(const nl::Netlist& nl, const cell::Tech& tech)
+    : nl_(nl), tech_(tech), topo_(nl::topo_order(nl)) {}
+
+Ps Sta::cell_delay(nl::CellId c) const {
+  const nl::CellData& cd = nl_.cell(c);
+  size_t fanout = 0;
+  for (NetId o : cd.outs) fanout = std::max(fanout, nl_.net(o).fanout.size());
+  return tech_.delay(cd.kind, static_cast<int>(cd.ins.size()),
+                     static_cast<int>(fanout));
+}
+
+std::vector<Ps> Sta::arrivals(std::span<const Source> sources) const {
+  std::vector<Ps> arr(nl_.num_nets(), kUnreached);
+  for (const Source& s : sources) {
+    DESYN_ASSERT(s.net.valid() && s.net.value() < nl_.num_nets());
+    arr[s.net.value()] = std::max(arr[s.net.value()], s.at);
+  }
+  for (CellId c : topo_) {
+    const nl::CellData& cd = nl_.cell(c);
+    if (!propagates(cd.kind)) continue;
+    Ps worst = kUnreached;
+    for (size_t i = 0; i < cd.ins.size(); ++i) {
+      if (!pin_propagates(cd, i)) continue;
+      worst = std::max(worst, arr[cd.ins[i].value()]);
+    }
+    if (worst == kUnreached) continue;  // unreached (incl. tie cells)
+    Ps out = worst + cell_delay(c);
+    for (NetId o : cd.outs) {
+      arr[o.value()] = std::max(arr[o.value()], out);
+    }
+  }
+  return arr;
+}
+
+Ps Sta::storage_input_arrival(const std::vector<Ps>& arr, nl::CellId c) const {
+  const nl::CellData& cd = nl_.cell(c);
+  Ps worst = kUnreached;
+  for (size_t i = 0; i < cd.ins.size(); ++i) {
+    if (!pin_is_data_endpoint(cd, i)) continue;
+    worst = std::max(worst, arr[cd.ins[i].value()]);
+  }
+  return worst;
+}
+
+Sta::PeriodReport Sta::min_clock_period() const {
+  // Launch points: every storage output at its clk->q delay; primary inputs
+  // at 0 (externally registered, zero input delay).
+  std::vector<Source> sources;
+  std::vector<CellId> launch_of_net(nl_.num_nets(), CellId::invalid());
+  for (CellId c : nl_.cells()) {
+    const nl::CellData& cd = nl_.cell(c);
+    if (!cell::is_storage(cd.kind)) continue;
+    Ps clk2q = cell_delay(c);
+    for (NetId o : cd.outs) {
+      sources.push_back({o, clk2q});
+      launch_of_net[o.value()] = c;
+    }
+  }
+  for (NetId in : nl_.inputs()) sources.push_back({in, 0});
+
+  std::vector<Ps> arr = arrivals(sources);
+
+  PeriodReport rep;
+  for (CellId c : nl_.cells()) {
+    const nl::CellData& cd = nl_.cell(c);
+    if (!cell::is_storage(cd.kind)) continue;
+    Ps a = storage_input_arrival(arr, c);
+    if (a == kUnreached) continue;
+    Ps setup = cell::is_latch(cd.kind) ? tech_.latch_setup() : tech_.dff_setup();
+    Ps period = a + setup;
+    if (period > rep.min_period) {
+      rep.min_period = period;
+      rep.worst_capture = c;
+      rep.worst_path = a;
+      // Identify the launch by tracing the critical path back to a source.
+      std::vector<NetId> path;
+      for (size_t i = 0; i < cd.ins.size(); ++i) {
+        if (pin_is_data_endpoint(cd, i) &&
+            arr[cd.ins[i].value()] == a) {
+          path = trace_path(arr, cd.ins[i]);
+          break;
+        }
+      }
+      rep.worst_launch = path.empty()
+                             ? CellId::invalid()
+                             : launch_of_net[path.front().value()];
+    }
+  }
+  if (rep.min_period == 0) {
+    // Purely combinational design: period is the worst PI -> PO path.
+    for (NetId o : nl_.outputs()) {
+      if (arr[o.value()] != kUnreached) {
+        rep.min_period = std::max(rep.min_period, arr[o.value()]);
+      }
+    }
+  }
+  return rep;
+}
+
+std::vector<NetId> Sta::trace_path(const std::vector<Ps>& arr,
+                                   nl::NetId net) const {
+  std::vector<NetId> rev;
+  NetId cur = net;
+  while (cur.valid() && arr[cur.value()] != kUnreached) {
+    rev.push_back(cur);
+    CellId drv = nl_.net(cur).driver;
+    if (!drv.valid()) break;  // primary input
+    const nl::CellData& cd = nl_.cell(drv);
+    if (!propagates(cd.kind)) break;  // launched at a storage output
+    Ps need = arr[cur.value()] - cell_delay(drv);
+    NetId best = NetId::invalid();
+    Ps best_arr = kUnreached;
+    for (size_t i = 0; i < cd.ins.size(); ++i) {
+      if (!pin_propagates(cd, i)) continue;
+      Ps a = arr[cd.ins[i].value()];
+      if (a != kUnreached && a <= need && a > best_arr) {
+        best = cd.ins[i];
+        best_arr = a;
+      }
+    }
+    if (!best.valid()) break;  // source net (listed in sources)
+    cur = best;
+  }
+  std::reverse(rev.begin(), rev.end());
+  return rev;
+}
+
+}  // namespace desyn::sta

@@ -1,0 +1,57 @@
+// Flow-equivalence checking — the correctness property of
+// de-synchronization [Guernic et al., "Polychrony for system design"]:
+// for every register, the sequence of values it stores is identical in the
+// synchronous and the desynchronized circuit (time is abstracted away; the
+// *flows* of data must match).
+//
+// Both implementations are built from the same FF netlist and simulated at
+// gate level with identical per-round input vectors:
+//  * sync: clock tree + free-running clock at the STA minimum period (plus
+//    a small margin); capture stream of FF f = D pin sampled at every
+//    rising edge of f's clock leaf.
+//  * desync: the flow's output, self-timed; capture stream of FF f = D pin
+//    of f's master latch sampled at every falling edge of its bank pulse.
+//
+// The checker compares the two streams per FF for `rounds` entries and also
+// reports throughput (measured periods) and any setup violations — a
+// mis-sized matched delay shows up here first (bench A4 exploits this).
+#pragma once
+
+#include "core/desynchronizer.h"
+#include "verif/testbench.h"
+
+namespace desyn::verif {
+
+struct FlowEqOptions {
+  int rounds = 40;
+  flow::DesyncOptions desync;
+  /// Sync clock period factor over the STA minimum.
+  double clock_margin = 1.10;
+  /// Simulation watchdog: give up (deadlock) after this many ps per round.
+  Ps round_timeout = 1'000'000;
+};
+
+struct FlowEqResult {
+  bool equivalent = false;
+  std::string mismatch;          ///< human-readable first difference
+  size_t registers_compared = 0;
+  size_t captures_compared = 0;
+  Ps sync_period = 0;            ///< clock period used
+  double desync_period = 0;      ///< measured average round period
+  uint64_t sync_setup_violations = 0;
+  uint64_t desync_setup_violations = 0;
+  double sync_power_mw = 0;      ///< total dynamic power (measured window)
+  double desync_power_mw = 0;
+  double sync_clock_power_mw = 0;   ///< clock-tree share
+  double desync_ctl_power_mw = 0;   ///< controller+delay-line share
+};
+
+/// Build both implementations of `ff_netlist` and check flow equivalence
+/// under `stim`. The FF netlist must be single-clock with `clock` as the
+/// clock input.
+FlowEqResult check_flow_equivalence(const nl::Netlist& ff_netlist,
+                                    nl::NetId clock, const Stimulus& stim,
+                                    const cell::Tech& tech,
+                                    const FlowEqOptions& opt = {});
+
+}  // namespace desyn::verif

@@ -1,0 +1,25 @@
+#include "verif/testbench.h"
+
+namespace desyn::verif {
+
+Stimulus random_stimulus(uint64_t seed) {
+  return [seed](int round, size_t input_index) {
+    // Stateless hash so the stimulus is identical across both simulations
+    // regardless of query order.
+    Rng rng(seed ^ (static_cast<uint64_t>(round) << 20) ^ input_index);
+    return rng.flip() ? cell::V::V1 : cell::V::V0;
+  };
+}
+
+Stimulus constant_stimulus(cell::V v) {
+  return [v](int, size_t) { return v; };
+}
+
+Stimulus walking_ones(size_t n_inputs) {
+  return [n_inputs](int round, size_t input_index) {
+    return cell::from_bool(static_cast<size_t>(round) % n_inputs ==
+                           input_index);
+  };
+}
+
+}  // namespace desyn::verif

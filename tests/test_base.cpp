@@ -1,0 +1,90 @@
+#include "base/common.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace desyn {
+namespace {
+
+TEST(Cat, ConcatenatesValues) {
+  EXPECT_EQ(cat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(cat(), "");
+}
+
+TEST(Ids, DefaultInvalid) {
+  struct Tag {};
+  Id<Tag> id;
+  EXPECT_FALSE(id.valid());
+  Id<Tag> a(3), b(3), c(4);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  EXPECT_TRUE(a.valid());
+}
+
+TEST(Fail, ThrowsError) {
+  EXPECT_THROW(fail("boom ", 42), Error);
+  try {
+    fail("boom ", 42);
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "boom 42");
+  }
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = r.below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all buckets hit over 1000 draws
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  bool lo_seen = false, hi_seen = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo_seen |= v == -3;
+    hi_seen |= v == 3;
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(Rng, FlipProbabilityRoughlyRespected) {
+  Rng r(11);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += r.flip(0.25);
+  EXPECT_GT(heads, 2000);
+  EXPECT_LT(heads, 3000);
+}
+
+TEST(SplitWs, SplitsAndSkipsRuns) {
+  auto t = split_ws("  a bb\t c\n");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], "a");
+  EXPECT_EQ(t[1], "bb");
+  EXPECT_EQ(t[2], "c");
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+}  // namespace
+}  // namespace desyn

@@ -1,0 +1,209 @@
+#include "cell/cells.h"
+
+#include <gtest/gtest.h>
+
+#include "cell/liberty.h"
+#include "cell/tech.h"
+
+namespace desyn::cell {
+namespace {
+
+V v(int x) { return x == 0 ? V::V0 : (x == 1 ? V::V1 : V::VX); }
+
+TEST(Eval, BasicGates) {
+  V in01[] = {v(0), v(1)};
+  V in11[] = {v(1), v(1)};
+  V in00[] = {v(0), v(0)};
+  EXPECT_EQ(eval_comb(Kind::And, in01), V::V0);
+  EXPECT_EQ(eval_comb(Kind::And, in11), V::V1);
+  EXPECT_EQ(eval_comb(Kind::Or, in01), V::V1);
+  EXPECT_EQ(eval_comb(Kind::Or, in00), V::V0);
+  EXPECT_EQ(eval_comb(Kind::Nand, in11), V::V0);
+  EXPECT_EQ(eval_comb(Kind::Nor, in00), V::V1);
+  EXPECT_EQ(eval_comb(Kind::Xor, in01), V::V1);
+  EXPECT_EQ(eval_comb(Kind::Xnor, in01), V::V0);
+}
+
+TEST(Eval, XPropagation) {
+  V x1[] = {v(2), v(1)};
+  V x0[] = {v(2), v(0)};
+  // Controlling values dominate X.
+  EXPECT_EQ(eval_comb(Kind::And, x0), V::V0);
+  EXPECT_EQ(eval_comb(Kind::Or, x1), V::V1);
+  // Non-controlling leave X.
+  EXPECT_EQ(eval_comb(Kind::And, x1), V::VX);
+  EXPECT_EQ(eval_comb(Kind::Or, x0), V::VX);
+  EXPECT_EQ(eval_comb(Kind::Xor, x1), V::VX);
+}
+
+TEST(Eval, WideGates) {
+  std::vector<V> ins(8, V::V1);
+  EXPECT_EQ(eval_comb(Kind::And, ins), V::V1);
+  ins[7] = V::V0;
+  EXPECT_EQ(eval_comb(Kind::And, ins), V::V0);
+  EXPECT_EQ(eval_comb(Kind::Or, ins), V::V1);
+}
+
+TEST(Eval, Mux2TruthTable) {
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      V ins[] = {v(a), v(b), v(0)};
+      EXPECT_EQ(eval_comb(Kind::Mux2, ins), v(a));
+      V ins1[] = {v(a), v(b), v(1)};
+      EXPECT_EQ(eval_comb(Kind::Mux2, ins1), v(b));
+    }
+  }
+  // X select: known only when both data agree.
+  V agree[] = {v(1), v(1), v(2)};
+  V differ[] = {v(0), v(1), v(2)};
+  EXPECT_EQ(eval_comb(Kind::Mux2, agree), V::V1);
+  EXPECT_EQ(eval_comb(Kind::Mux2, differ), V::VX);
+}
+
+TEST(Eval, Aoi21Oai21) {
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      for (int c = 0; c <= 1; ++c) {
+        V ins[] = {v(a), v(b), v(c)};
+        int aoi = !((a && b) || c);
+        int oai = !((a || b) && c);
+        EXPECT_EQ(eval_comb(Kind::Aoi21, ins), v(aoi));
+        EXPECT_EQ(eval_comb(Kind::Oai21, ins), v(oai));
+      }
+    }
+  }
+}
+
+TEST(Eval, Ties) {
+  EXPECT_EQ(eval_comb(Kind::TieLo, {}), V::V0);
+  EXPECT_EQ(eval_comb(Kind::TieHi, {}), V::V1);
+}
+
+TEST(CElem, RiseFallHold) {
+  V all1[] = {v(1), v(1)};
+  V all0[] = {v(0), v(0)};
+  V mixed[] = {v(0), v(1)};
+  EXPECT_EQ(eval_state_holding(Kind::CElem, all1, V::V0), V::V1);
+  EXPECT_EQ(eval_state_holding(Kind::CElem, all0, V::V1), V::V0);
+  EXPECT_EQ(eval_state_holding(Kind::CElem, mixed, V::V0), V::V0);
+  EXPECT_EQ(eval_state_holding(Kind::CElem, mixed, V::V1), V::V1);
+  // X input: cannot rise/fall, holds.
+  V withx[] = {v(2), v(1)};
+  EXPECT_EQ(eval_state_holding(Kind::CElem, withx, V::V0), V::V0);
+}
+
+TEST(Gc, SetResetHoldConflict) {
+  V set[] = {v(1), v(0)};
+  V reset[] = {v(0), v(1)};
+  V hold[] = {v(0), v(0)};
+  V conflict[] = {v(1), v(1)};
+  EXPECT_EQ(eval_state_holding(Kind::Gc, set, V::V0), V::V1);
+  EXPECT_EQ(eval_state_holding(Kind::Gc, reset, V::V1), V::V0);
+  EXPECT_EQ(eval_state_holding(Kind::Gc, hold, V::V1), V::V1);
+  EXPECT_EQ(eval_state_holding(Kind::Gc, hold, V::V0), V::V0);
+  EXPECT_EQ(eval_state_holding(Kind::Gc, conflict, V::V0), V::VX);
+}
+
+TEST(Kinds, Classification) {
+  EXPECT_TRUE(is_combinational(Kind::And));
+  EXPECT_TRUE(is_combinational(Kind::Rom));
+  EXPECT_FALSE(is_combinational(Kind::Ram));
+  EXPECT_FALSE(is_combinational(Kind::CElem));
+  EXPECT_TRUE(is_storage(Kind::Dff));
+  EXPECT_TRUE(is_storage(Kind::Ram));
+  EXPECT_TRUE(is_state_holding(Kind::Gc));
+  EXPECT_TRUE(is_latch(Kind::LatchN));
+  EXPECT_FALSE(is_latch(Kind::Dff));
+}
+
+TEST(Kinds, PinCounts) {
+  EXPECT_EQ(num_inputs(Kind::Mux2, 3), 3);
+  EXPECT_EQ(num_inputs(Kind::And, 5), 5);
+  EXPECT_EQ(num_inputs(Kind::Rom, 0, 6, 8), 6);
+  EXPECT_EQ(num_inputs(Kind::Ram, 0, 4, 8), 2 + 4 + 8 + 4);
+  EXPECT_EQ(num_outputs(Kind::Ram, 4, 8), 8);
+  EXPECT_EQ(num_outputs(Kind::And), 1);
+}
+
+TEST(Kinds, RamPinNames) {
+  EXPECT_EQ(input_pin_name(Kind::Ram, 0, 2, 4), "CK");
+  EXPECT_EQ(input_pin_name(Kind::Ram, 1, 2, 4), "WE");
+  EXPECT_EQ(input_pin_name(Kind::Ram, 2, 2, 4), "WA0");
+  EXPECT_EQ(input_pin_name(Kind::Ram, 4, 2, 4), "WD0");
+  EXPECT_EQ(input_pin_name(Kind::Ram, 8, 2, 4), "RA0");
+  EXPECT_EQ(output_pin_name(Kind::Ram, 3, 2, 4), "RD3");
+}
+
+TEST(Tech, Generic90Loads) {
+  const Tech& t = Tech::generic90();
+  EXPECT_EQ(t.name(), "generic90");
+  EXPECT_GT(t.spec(Kind::Inv).delay, 0);
+  EXPECT_GT(t.spec(Kind::Dff).area, t.spec(Kind::Inv).area);
+  EXPECT_GT(t.delay_unit(), 0);
+}
+
+TEST(Tech, DelayScalesWithArityAndFanout) {
+  const Tech& t = Tech::generic90();
+  EXPECT_GT(t.delay(Kind::And, 4, 1), t.delay(Kind::And, 2, 1));
+  EXPECT_GT(t.delay(Kind::And, 2, 8), t.delay(Kind::And, 2, 1));
+  EXPECT_EQ(t.delay(Kind::Inv, 1, 1), t.spec(Kind::Inv).delay);
+}
+
+TEST(Tech, MacroAreaScalesWithBits) {
+  const Tech& t = Tech::generic90();
+  Um2 rom_small = t.area(Kind::Rom, 4, 4, 8);   // 16 x 8
+  Um2 rom_big = t.area(Kind::Rom, 5, 5, 8);     // 32 x 8
+  EXPECT_DOUBLE_EQ(rom_big, 2.0 * rom_small);
+  EXPECT_GT(t.area(Kind::Ram, 4, 4, 8), t.area(Kind::Rom, 4, 4, 8));
+}
+
+TEST(Liberty, RejectsMalformed) {
+  EXPECT_THROW(parse_liberty("module x {}"), Error);
+  EXPECT_THROW(parse_liberty("library x { cell BOGUS { delay 1 } }"), Error);
+  EXPECT_THROW(parse_liberty("library x { voltage }"), Error);
+  // Missing cells.
+  EXPECT_THROW(parse_liberty("library x { voltage 1.0 }"), Error);
+}
+
+TEST(Liberty, ParsesCommentsAndValues) {
+  std::string text(generic90_liberty_text());
+  Tech t = parse_liberty(text);
+  EXPECT_EQ(t.name(), "generic90");
+  EXPECT_DOUBLE_EQ(t.voltage(), 1.0);
+  EXPECT_EQ(t.spec(Kind::Delay).delay, 120);
+  EXPECT_EQ(t.dff_setup(), 45);
+  EXPECT_EQ(t.latch_setup(), 30);
+}
+
+TEST(Liberty, DuplicateCellRejected) {
+  std::string text = "library x { cell INV { delay 1 } cell INV { delay 2 } }";
+  EXPECT_THROW(parse_liberty(text), Error);
+}
+
+}  // namespace
+}  // namespace desyn::cell
+
+namespace desyn::cell {
+namespace {
+
+TEST(Tech, ClockEnergyAndGlobalWireFactorParsed) {
+  const Tech& t = Tech::generic90();
+  EXPECT_GT(t.spec(Kind::Dff).clock_energy, 0.0);
+  EXPECT_DOUBLE_EQ(t.spec(Kind::Dff).clock_energy,
+                   2.0 * t.spec(Kind::Latch).clock_energy);
+  EXPECT_DOUBLE_EQ(t.spec(Kind::And).clock_energy, 0.0);
+  EXPECT_GT(t.global_wire_factor(), 1.0);
+}
+
+TEST(Liberty, CustomClockEnergyAccepted) {
+  std::string text(generic90_liberty_text());
+  // Patch the DFF clock energy and reparse.
+  size_t pos = text.find("clock_energy 2.6");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 16, "clock_energy 9.9");
+  Tech t = parse_liberty(text);
+  EXPECT_DOUBLE_EQ(t.spec(Kind::Dff).clock_energy, 9.9);
+}
+
+}  // namespace
+}  // namespace desyn::cell

@@ -1,0 +1,132 @@
+#include "circuits/circuits.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/query.h"
+#include "sim/sim.h"
+#include "verif/flow_equivalence.h"
+
+namespace desyn::circuits {
+namespace {
+
+using cell::Tech;
+using cell::V;
+
+TEST(Circuits, PipelineStructure) {
+  Circuit c = pipeline(4, 8, 2);
+  c.netlist.check();
+  auto s = nl::stats(c.netlist, Tech::generic90());
+  EXPECT_EQ(s.flipflops, 4u * 8u);
+  EXPECT_GT(s.count(cell::Kind::Xor), 0u);
+}
+
+TEST(Circuits, LfsrCyclesThroughStates) {
+  Circuit c = lfsr(8);
+  sim::Simulator sim(c.netlist, Tech::generic90());
+  sim.add_clock(c.clock, 2000, 1000);
+  std::vector<uint64_t> states;
+  for (int k = 0; k < 20; ++k) {
+    sim.run_until(2000 * (k + 1));
+    states.push_back(sim::read_word(sim, c.netlist.outputs()));
+  }
+  // Nonzero start, state changes, no immediate repetition.
+  EXPECT_NE(states[0], states[1]);
+  EXPECT_NE(states[1], states[2]);
+}
+
+TEST(Circuits, CounterBankCounts) {
+  Circuit c = counter_bank(2, 4);
+  sim::Simulator sim(c.netlist, Tech::generic90());
+  sim.set_input(c.netlist.find_net("en"), V::V1, 0);
+  sim.add_clock(c.clock, 2000, 1000);
+  // Counter 0 starts at 0: bit 3 (the PO) rises after 8 increments.
+  sim.run_until(2000 * 9);
+  EXPECT_EQ(sim.value(c.netlist.outputs()[0]), V::V1);
+}
+
+TEST(Circuits, FirRespondsToImpulse) {
+  Circuit c = fir_filter(4, 8);
+  sim::Simulator sim(c.netlist, Tech::generic90());
+  auto x = std::vector<nl::NetId>();
+  for (int i = 0; i < 8; ++i) x.push_back(c.netlist.find_net(cat("x", i)));
+  sim::poke_word(sim, x, 1, 0);  // impulse then zero
+  sim.add_clock(c.clock, 3000, 1500);
+  sim.run_until(2000);
+  sim::poke_word(sim, x, 0, 2000);
+  // After taps+2 cycles the impulse has traversed: output returns to 0.
+  sim.run_until(3000 * 10);
+  EXPECT_EQ(sim::read_word(sim, c.netlist.outputs()), 0u);
+}
+
+class SuiteFlowEq : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuiteFlowEq, SmallSuiteCircuitsAreFlowEquivalent) {
+  // Only the small suite entries here (the scaling bench covers the rest).
+  Circuit c = GetParam() == 0   ? pipeline(4, 8, 2)
+              : GetParam() == 1 ? lfsr(16)
+              : GetParam() == 2 ? counter_bank(4, 8)
+                                : fir_filter(8, 12);
+  verif::FlowEqOptions opt;
+  opt.rounds = 30;
+  auto res = verif::check_flow_equivalence(c.netlist, c.clock,
+                                           verif::random_stimulus(11),
+                                           Tech::generic90(), opt);
+  EXPECT_TRUE(res.equivalent) << c.netlist.name() << ": " << res.mismatch;
+  EXPECT_EQ(res.desync_setup_violations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, SuiteFlowEq, ::testing::Values(0, 1, 2, 3));
+
+TEST(Circuits, ScalingSuiteBuilds) {
+  auto suite = scaling_suite();
+  EXPECT_GE(suite.size(), 6u);
+  for (auto& s : suite) {
+    s.circuit.netlist.check();
+    EXPECT_GT(nl::stats(s.circuit.netlist, Tech::generic90()).flipflops, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace desyn::circuits
+
+namespace desyn::circuits {
+namespace {
+
+TEST(Circuits, Crc32MatchesSoftwareReference) {
+  Circuit c = crc32();
+  sim::Simulator sim(c.netlist, cell::Tech::generic90());
+  nl::NetId din = c.netlist.find_net("din");
+  // Shift in a known bit string, MSB-first software reference.
+  uint32_t ref = 0xffffffffu;
+  Rng rng(77);
+  Ps t = 0;
+  sim.set_input(din, V::V0, 0);
+  sim.set_input(c.clock, V::V0, 0);
+  for (int k = 0; k < 48; ++k) {
+    int bit = rng.flip() ? 1 : 0;
+    sim.set_input(din, bit ? V::V1 : V::V0, t + 200);
+    sim.set_input(c.clock, V::V1, t + 1000);
+    sim.set_input(c.clock, V::V0, t + 1600);
+    t += 2000;
+    sim.run_until(t);
+    uint32_t fb = ((ref >> 31) ^ static_cast<uint32_t>(bit)) & 1u;
+    ref = (ref << 1) ^ (fb ? 0x04C11DB7u : 0u);
+  }
+  bool has_x = false;
+  uint64_t hw = sim::read_word(sim, c.netlist.outputs(), &has_x);
+  EXPECT_FALSE(has_x);
+  EXPECT_EQ(hw, ref);
+}
+
+TEST(Circuits, Crc32FlowEquivalent) {
+  Circuit c = crc32();
+  verif::FlowEqOptions opt;
+  opt.rounds = 30;
+  auto res = verif::check_flow_equivalence(c.netlist, c.clock,
+                                           verif::random_stimulus(31),
+                                           cell::Tech::generic90(), opt);
+  EXPECT_TRUE(res.equivalent) << res.mismatch;
+}
+
+}  // namespace
+}  // namespace desyn::circuits

@@ -1,0 +1,268 @@
+#include "dlx/cpu_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "dlx/programs.h"
+#include "sim/sim.h"
+#include "sta/sta.h"
+#include "verif/flow_equivalence.h"
+
+namespace desyn::dlx {
+namespace {
+
+using cell::Tech;
+using cell::V;
+
+TEST(Isa, EncodeDecodeRoundTrip) {
+  std::vector<Ins> cases = {
+      {Op::NOP, 0, 0, 0, 0},       {Op::ADD, 3, 1, 2, 0},
+      {Op::SUB, 7, 5, 6, 0},       {Op::SLT, 1, 2, 3, 0},
+      {Op::ADDI, 0, 4, 5, -12},    {Op::ANDI, 0, 4, 5, 0xff},
+      {Op::LUI, 0, 0, 9, 0x1234},  {Op::LW, 0, 2, 8, 7},
+      {Op::SW, 0, 2, 8, -3},       {Op::BEQ, 0, 1, 2, -5},
+      {Op::BNE, 0, 1, 2, 9},       {Op::J, 0, 0, 0, 77},
+  };
+  for (const Ins& i : cases) {
+    Ins d = decode(encode(i));
+    EXPECT_EQ(d.op, i.op) << to_string(i);
+    if (i.op != Op::NOP && i.op != Op::J && i.op != Op::LUI) {
+      EXPECT_EQ(d.rs, i.rs) << to_string(i);
+    }
+    switch (i.op) {
+      case Op::ADD: case Op::SUB: case Op::AND_: case Op::OR_:
+      case Op::XOR_: case Op::SLT:
+        EXPECT_EQ(d.rd, i.rd);
+        EXPECT_EQ(d.rt, i.rt);
+        break;
+      case Op::NOP:
+        break;
+      default:
+        EXPECT_EQ(d.imm, i.imm) << to_string(i);
+    }
+  }
+  EXPECT_EQ(to_string(decode(encode({Op::ADD, 3, 1, 2, 0}))),
+            "add r3, r1, r2");
+}
+
+TEST(Assembler, InsertsRawHazardNops) {
+  Asm a;
+  a.opi(Op::ADDI, 1, 0, 5);
+  a.op3(Op::ADD, 2, 1, 1);  // reads r1 immediately: needs 3 NOPs
+  const auto& prog = a.instructions();
+  ASSERT_EQ(prog.size(), 5u);
+  EXPECT_EQ(prog[1].op, Op::NOP);
+  EXPECT_EQ(prog[2].op, Op::NOP);
+  EXPECT_EQ(prog[3].op, Op::NOP);
+  EXPECT_EQ(prog[4].op, Op::ADD);
+}
+
+TEST(Assembler, BranchGetsDelaySlots) {
+  Asm a;
+  int l = a.label();
+  a.branch_to(Op::BNE, 0, 0, l);
+  const auto& prog = a.instructions();
+  ASSERT_EQ(prog.size(), 3u);
+  EXPECT_EQ(prog[0].op, Op::BNE);
+  EXPECT_EQ(prog[0].imm, -1);  // target == own index: pc+1-1... loops to 0
+  EXPECT_EQ(prog[1].op, Op::NOP);
+  EXPECT_EQ(prog[2].op, Op::NOP);
+}
+
+TEST(Iss, FibonacciProducesSequence) {
+  DlxConfig cfg;
+  Iss iss(cfg, fibonacci_program(10));
+  iss.run(400);
+  uint32_t fib[10] = {0, 1, 1, 2, 3, 5, 8, 13, 21, 34};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(iss.dmem(static_cast<uint32_t>(i)), fib[i]) << "i=" << i;
+  }
+}
+
+TEST(Iss, ChecksumStoresSumAndXor) {
+  DlxConfig cfg;
+  int n = 10;
+  Iss iss(cfg, checksum_program(n));
+  iss.run(600);
+  uint32_t sum = 0, x = 0;
+  for (int i = 0; i < n; ++i) {
+    uint32_t v = static_cast<uint32_t>(7 + 3 * i);
+    sum += v;
+    x ^= v;
+  }
+  EXPECT_EQ(iss.dmem(static_cast<uint32_t>(n)), sum);
+  EXPECT_EQ(iss.dmem(static_cast<uint32_t>(n + 1)), x);
+}
+
+TEST(Iss, SortSortsTheArray) {
+  DlxConfig cfg;
+  int n = 6;
+  Iss iss(cfg, sort_program(n));
+  iss.run(4000);
+  for (int i = 0; i + 1 < n; ++i) {
+    EXPECT_LE(iss.dmem(static_cast<uint32_t>(i)),
+              iss.dmem(static_cast<uint32_t>(i + 1)))
+        << "position " << i;
+  }
+}
+
+TEST(Iss, MemcpyCopiesBlock) {
+  DlxConfig cfg;
+  int n = 10;
+  Iss iss(cfg, memcpy_program(n));
+  iss.run(600);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(iss.dmem(static_cast<uint32_t>(i)),
+              iss.dmem(static_cast<uint32_t>(i + n)));
+    EXPECT_NE(iss.dmem(static_cast<uint32_t>(i)), 0u);
+  }
+}
+
+/// Gate-level vs ISS co-simulation: after enough cycles (programs end in a
+/// halt spin) the architectural state of both must be identical.
+class CoSim : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoSim, NetlistMatchesIss) {
+  DlxConfig cfg;
+  Workload wl = standard_workloads()[static_cast<size_t>(GetParam())];
+  nl::Netlist nl("dlx");
+  DlxInfo info = build_dlx(nl, cfg, wl.words);
+
+  const Tech& t = Tech::generic90();
+  sta::Sta sta(nl, t);
+  Ps period = sta.min_clock_period().min_period * 11 / 10;
+  period += period % 2;
+
+  sim::Simulator sim(nl, t);
+  sim.add_clock(info.clk, period, period / 2);
+  sim.run_until(period * (wl.cycles + 1));
+  EXPECT_EQ(sim.setup_violation_count(), 0u);
+
+  Iss iss(cfg, wl.words);
+  iss.run(wl.cycles);
+
+  // Architectural registers.
+  for (int r = 1; r < cfg.regs; ++r) {
+    rtl::Bus bits;
+    for (int i = 0; i < 32; ++i) bits.push_back(reg_bit_net(nl, r, i));
+    bool has_x = false;
+    uint64_t hw = sim::read_word(sim, bits, &has_x);
+    EXPECT_FALSE(has_x) << "r" << r;
+    EXPECT_EQ(hw, iss.reg(r)) << wl.name << " r" << r;
+  }
+  // Data memory.
+  for (uint32_t a = 0; a < (1u << cfg.dmem_bits); ++a) {
+    EXPECT_EQ(sim.ram_word(info.dmem, a), iss.dmem(a))
+        << wl.name << " dmem[" << a << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, CoSim, ::testing::Values(0, 1, 2, 3),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return standard_workloads()
+                               [static_cast<size_t>(info.param)].name;
+                         });
+
+TEST(DlxDesync, FlowEquivalentOnFibonacci) {
+  DlxConfig cfg;
+  cfg.regs = 8;      // compact config keeps the double simulation quick
+  cfg.imem_bits = 7;
+  cfg.dmem_bits = 5;
+  nl::Netlist nl("dlx");
+  build_dlx(nl, cfg, fibonacci_program(6));
+  verif::FlowEqOptions opt;
+  opt.rounds = 60;
+  auto res = verif::check_flow_equivalence(
+      nl, nl.find_net("clk"), verif::constant_stimulus(V::V0),
+      Tech::generic90(), opt);
+  EXPECT_TRUE(res.equivalent) << res.mismatch;
+  EXPECT_EQ(res.desync_setup_violations, 0u);
+  // The de-synchronized processor runs at a comparable cycle time.
+  EXPECT_LT(res.desync_period, 1.6 * static_cast<double>(res.sync_period));
+}
+
+}  // namespace
+}  // namespace desyn::dlx
+
+namespace desyn::dlx {
+namespace {
+
+/// Random (hazard-scheduled) straight-line programs with occasional forward
+/// branches: a strong property check of ISS vs. gate-level agreement.
+std::vector<uint32_t> random_program(uint64_t seed, int length) {
+  Rng rng(seed);
+  Asm a;
+  std::vector<int> fixups;
+  for (int i = 0; i < length; ++i) {
+    int rd = static_cast<int>(rng.range(1, 7));
+    int rs = static_cast<int>(rng.range(0, 7));
+    int rt = static_cast<int>(rng.range(0, 7));
+    switch (rng.below(10)) {
+      case 0: a.op3(Op::ADD, rd, rs, rt); break;
+      case 1: a.op3(Op::SUB, rd, rs, rt); break;
+      case 2: a.op3(Op::XOR_, rd, rs, rt); break;
+      case 3: a.op3(Op::SLT, rd, rs, rt); break;
+      case 4: a.opi(Op::ADDI, rd, rs, static_cast<int32_t>(rng.range(-20, 20))); break;
+      case 5: a.opi(Op::ORI, rd, rs, static_cast<int32_t>(rng.range(0, 255))); break;
+      case 6: a.opi(Op::LUI, rd, 0, static_cast<int32_t>(rng.range(0, 100))); break;
+      case 7:
+        a.emit({Op::SW, 0, 0, rt, static_cast<int32_t>(rng.range(0, 31))});
+        break;
+      case 8:
+        a.emit({Op::LW, 0, 0, rd, static_cast<int32_t>(rng.range(0, 31))});
+        break;
+      default:
+        // Forward branch over the next chunk; bound() later.
+        fixups.push_back(a.branch_fwd(rng.flip() ? Op::BEQ : Op::BNE, rs, rt));
+        break;
+    }
+    // Bind any pending forward branch a few instructions later.
+    if (!fixups.empty() && a.here() - fixups.front() > 8) {
+      a.bind(fixups.front());
+      fixups.erase(fixups.begin());
+    }
+  }
+  for (int f : fixups) a.bind(f);
+  a.halt();
+  return a.assemble();
+}
+
+class RandomCoSim : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomCoSim, RandomProgramsAgree) {
+  DlxConfig cfg;
+  std::vector<uint32_t> prog = random_program(GetParam(), 40);
+  ASSERT_LE(prog.size(), 1u << cfg.imem_bits);
+  int cycles = static_cast<int>(prog.size()) + 30;
+
+  nl::Netlist nl("dlx");
+  DlxInfo info = build_dlx(nl, cfg, prog);
+  const Tech& t = Tech::generic90();
+  sta::Sta sta(nl, t);
+  Ps period = sta.min_clock_period().min_period * 11 / 10;
+  period += period % 2;
+  sim::Simulator sim(nl, t);
+  sim.add_clock(info.clk, period, period / 2);
+  sim.run_until(period * (cycles + 1));
+  EXPECT_EQ(sim.setup_violation_count(), 0u);
+
+  Iss iss(cfg, prog);
+  iss.run(cycles);
+  for (int r = 1; r < 8; ++r) {
+    rtl::Bus bits;
+    for (int i = 0; i < 32; ++i) bits.push_back(reg_bit_net(nl, r, i));
+    bool has_x = false;
+    uint64_t hw = sim::read_word(sim, bits, &has_x);
+    EXPECT_FALSE(has_x) << "seed " << GetParam() << " r" << r;
+    EXPECT_EQ(hw, iss.reg(r)) << "seed " << GetParam() << " r" << r;
+  }
+  for (uint32_t ad = 0; ad < 32; ++ad) {
+    EXPECT_EQ(sim.ram_word(info.dmem, ad), iss.dmem(ad))
+        << "seed " << GetParam() << " dmem[" << ad << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCoSim,
+                         ::testing::Range<uint64_t>(100, 112));
+
+}  // namespace
+}  // namespace desyn::dlx

@@ -1,0 +1,210 @@
+#include "rtl/bus.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/sim.h"
+
+namespace desyn::rtl {
+namespace {
+
+using cell::Tech;
+using cell::V;
+using nl::Builder;
+using nl::Netlist;
+
+/// Harness: build a combinational function of two W-bit inputs, evaluate it
+/// in the simulator for random vectors and compare with `ref`.
+struct TwoInput {
+  Netlist nl{"t"};
+  Bus a, b, y;
+  nl::NetId flag = nl::NetId::invalid();
+};
+
+void check_two_input(TwoInput& t, uint64_t (*ref)(uint64_t, uint64_t, int),
+                     int width, int vectors = 50, uint64_t seed = 9) {
+  sim::Simulator sim(t.nl, Tech::generic90());
+  Rng rng(seed);
+  uint64_t mask = width == 64 ? ~0ull : (1ull << width) - 1;
+  for (int k = 0; k < vectors; ++k) {
+    uint64_t av = rng.next() & mask;
+    uint64_t bv = rng.next() & mask;
+    sim::poke_word(sim, t.a, av, sim.now());
+    sim::poke_word(sim, t.b, bv, sim.now());
+    sim.run_until(sim.now() + 20000);
+    bool has_x = false;
+    uint64_t got = sim::read_word(sim, t.y, &has_x);
+    EXPECT_FALSE(has_x) << "X in output, vector " << k;
+    EXPECT_EQ(got, ref(av, bv, width) & (t.y.size() == 64
+                                             ? ~0ull
+                                             : (1ull << t.y.size()) - 1))
+        << "a=" << av << " b=" << bv;
+  }
+}
+
+TwoInput make(int width, Bus (*fn)(Word&, const Bus&, const Bus&)) {
+  TwoInput t;
+  Builder b(t.nl);
+  Word w(b);
+  t.a = w.input("a", width);
+  t.b = w.input("b", width);
+  t.y = fn(w, t.a, t.b);
+  w.output(t.y);
+  return t;
+}
+
+TEST(Word, AddMatchesReference) {
+  for (int width : {4, 8, 16, 32}) {
+    TwoInput t = make(width, [](Word& w, const Bus& a, const Bus& b) {
+      return w.add(a, b);
+    });
+    check_two_input(t, [](uint64_t a, uint64_t b, int) { return a + b; },
+                    width);
+  }
+}
+
+TEST(Word, SubMatchesReference) {
+  TwoInput t = make(16, [](Word& w, const Bus& a, const Bus& b) {
+    return w.sub(a, b);
+  });
+  check_two_input(t, [](uint64_t a, uint64_t b, int) { return a - b; }, 16);
+}
+
+TEST(Word, BitwiseOpsMatchReference) {
+  TwoInput t1 = make(12, [](Word& w, const Bus& a, const Bus& b) {
+    return w.and_(a, b);
+  });
+  check_two_input(t1, [](uint64_t a, uint64_t b, int) { return a & b; }, 12);
+  TwoInput t2 = make(12, [](Word& w, const Bus& a, const Bus& b) {
+    return w.xor_(a, b);
+  });
+  check_two_input(t2, [](uint64_t a, uint64_t b, int) { return a ^ b; }, 12);
+  TwoInput t3 = make(12, [](Word& w, const Bus& a, const Bus& b) {
+    return w.or_(w.not_(a), b);
+  });
+  check_two_input(t3, [](uint64_t a, uint64_t b, int w) {
+    return (~a & ((uint64_t{1} << w) - 1)) | b;
+  }, 12);
+}
+
+TEST(Word, ComparisonsMatchReference) {
+  TwoInput t = make(10, [](Word& w, const Bus& a, const Bus& b) {
+    return Bus{w.ult(a, b), w.eq(a, b), w.slt(a, b), w.is_zero(a)};
+  });
+  check_two_input(t, [](uint64_t a, uint64_t b, int w) -> uint64_t {
+    auto sign = [w](uint64_t v) -> int64_t {
+      return static_cast<int64_t>(v << (64 - w)) >> (64 - w);
+    };
+    uint64_t r = 0;
+    if (a < b) r |= 1;
+    if (a == b) r |= 2;
+    if (sign(a) < sign(b)) r |= 4;
+    if (a == 0) r |= 8;
+    return r;
+  }, 10, 200);
+}
+
+TEST(Word, MuxNSelectsChoice) {
+  Netlist nl("t");
+  Builder b(nl);
+  Word w(b);
+  Bus sel = w.input("s", 2);
+  std::vector<Bus> choices = {w.constant(0x3, 4), w.constant(0x5, 4),
+                              w.constant(0x9, 4), w.constant(0xe, 4)};
+  Bus y = w.mux_n(choices, sel);
+  w.output(y);
+  sim::Simulator sim(nl, Tech::generic90());
+  uint64_t expect[] = {0x3, 0x5, 0x9, 0xe};
+  for (uint64_t s = 0; s < 4; ++s) {
+    sim::poke_word(sim, sel, s, sim.now());
+    sim.run_until(sim.now() + 5000);
+    EXPECT_EQ(sim::read_word(sim, y), expect[s]);
+  }
+}
+
+TEST(Word, DecodeOneHot) {
+  Netlist nl("t");
+  Builder b(nl);
+  Word w(b);
+  Bus sel = w.input("s", 3);
+  Bus hot = w.decode(sel);
+  w.output(hot);
+  sim::Simulator sim(nl, Tech::generic90());
+  for (uint64_t s = 0; s < 8; ++s) {
+    sim::poke_word(sim, sel, s, sim.now());
+    sim.run_until(sim.now() + 5000);
+    EXPECT_EQ(sim::read_word(sim, hot), 1ull << s);
+  }
+}
+
+TEST(Word, SignZeroExtendAndShift) {
+  Netlist nl("t");
+  Builder b(nl);
+  Word w(b);
+  Bus a = w.input("a", 4);
+  Bus se = w.sign_extend(a, 8);
+  Bus ze = w.zero_extend(a, 8);
+  Bus sh = w.shl_const(a, 2);
+  w.output(se);
+  w.output(ze);
+  w.output(sh);
+  sim::Simulator sim(nl, Tech::generic90());
+  sim::poke_word(sim, a, 0xA, sim.now());  // negative in 4 bits
+  sim.run_until(5000);
+  EXPECT_EQ(sim::read_word(sim, se), 0xFAu);
+  EXPECT_EQ(sim::read_word(sim, ze), 0x0Au);
+  EXPECT_EQ(sim::read_word(sim, sh), 0x8u);  // 0xA<<2 = 0x28 truncated to 4b
+}
+
+TEST(RegFile, WriteReadPortsAndR0) {
+  Netlist nl("t");
+  Builder b(nl);
+  Word w(b);
+  nl::NetId clk = b.input("clk");
+  Bus waddr = w.input("wa", 3);
+  Bus wdata = w.input("wd", 8);
+  nl::NetId we = b.input("we");
+  Bus ra0 = w.input("ra0", 3);
+  Bus ra1 = w.input("ra1", 3);
+  RegFile rf = regfile(w, clk, 8, 8, waddr, wdata, we, {ra0, ra1}, "rf");
+  w.output(rf.read_data[0]);
+  w.output(rf.read_data[1]);
+
+  sim::Simulator sim(nl, Tech::generic90());
+  auto clock_pulse = [&](Ps at) {
+    sim.set_input(clk, V::V1, at);
+    sim.set_input(clk, V::V0, at + 1000);
+  };
+  sim.set_input(clk, V::V0, 0);
+  sim.set_input(we, V::V1, 0);
+  sim::poke_word(sim, waddr, 3, 0);
+  sim::poke_word(sim, wdata, 0x5a, 0);
+  sim::poke_word(sim, ra0, 3, 0);
+  sim::poke_word(sim, ra1, 0, 0);
+  sim.run_until(1900);
+  clock_pulse(2000);
+  sim.run_until(4000);
+  EXPECT_EQ(sim::read_word(sim, rf.read_data[0]), 0x5au);
+  EXPECT_EQ(sim::read_word(sim, rf.read_data[1]), 0u);  // r0 reads zero
+
+  // Writes to r0 are ignored.
+  sim::poke_word(sim, waddr, 0, 4000);
+  sim::poke_word(sim, wdata, 0xff, 4000);
+  sim.run_until(5900);
+  clock_pulse(6000);
+  sim.run_until(8000);
+  EXPECT_EQ(sim::read_word(sim, rf.read_data[1]), 0u);
+  // And the earlier write persisted.
+  EXPECT_EQ(sim::read_word(sim, rf.read_data[0]), 0x5au);
+
+  // WE low: no write.
+  sim.set_input(we, V::V0, 8000);
+  sim::poke_word(sim, waddr, 3, 8000);
+  sim::poke_word(sim, wdata, 0x11, 8000);
+  sim.run_until(9900);
+  clock_pulse(10000);
+  sim.run_until(12000);
+  EXPECT_EQ(sim::read_word(sim, rf.read_data[0]), 0x5au);
+}
+
+}  // namespace
+}  // namespace desyn::rtl

@@ -1,0 +1,175 @@
+#include "sta/sta.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.h"
+#include "sta/paths.h"
+
+namespace desyn::sta {
+namespace {
+
+using cell::Kind;
+using cell::Tech;
+using cell::V;
+using nl::Builder;
+using nl::Netlist;
+using nl::NetId;
+
+TEST(Sta, ChainArrivalIsSumOfDelays) {
+  Netlist nl("t");
+  Builder b(nl);
+  const Tech& t = Tech::generic90();
+  NetId a = b.input("a");
+  NetId n1 = b.inv(a);
+  NetId n2 = b.buf(n1);
+  NetId y = b.xor_(n2, n2, "y");
+  b.output(y);
+
+  Sta sta(nl, t);
+  Source src[] = {{a, 0}};
+  auto arr = sta.arrivals(src);
+  // inv drives one pin, buf drives two pins (both xor inputs)... fanout of
+  // n1 is 1 (buf), n2 is 2 (two xor pins), y is 0.
+  Ps d_inv = t.delay(Kind::Inv, 1, 1);
+  Ps d_buf = t.delay(Kind::Buf, 1, 2);
+  Ps d_xor = t.delay(Kind::Xor, 2, 0);
+  EXPECT_EQ(arr[n1.value()], d_inv);
+  EXPECT_EQ(arr[n2.value()], d_inv + d_buf);
+  EXPECT_EQ(arr[y.value()], d_inv + d_buf + d_xor);
+}
+
+TEST(Sta, UnreachedNetsStayUnreached) {
+  Netlist nl("t");
+  Builder b(nl);
+  NetId a = b.input("a");
+  NetId c = b.input("c");
+  NetId y1 = b.inv(a);
+  NetId y2 = b.inv(c);
+  b.output(y1);
+  b.output(y2);
+  Sta sta(nl, Tech::generic90());
+  Source src[] = {{a, 0}};
+  auto arr = sta.arrivals(src);
+  EXPECT_NE(arr[y1.value()], kUnreached);
+  EXPECT_EQ(arr[y2.value()], kUnreached);
+  EXPECT_EQ(arr[c.value()], kUnreached);
+}
+
+TEST(Sta, MinPeriodOfFfPipeline) {
+  Netlist nl("t");
+  Builder b(nl);
+  const Tech& t = Tech::generic90();
+  NetId d = b.input("d");
+  NetId ck = b.input("ck");
+  NetId q0 = b.dff(d, ck, V::V0, "q0");
+  NetId x = b.inv(q0);
+  NetId q1 = b.dff(x, ck, V::V0, "q1");
+  b.output(q1);
+
+  Sta sta(nl, t);
+  auto rep = sta.min_clock_period();
+  // Worst path: q0 clk->q (fanout 1) + inv (fanout 1) + setup.
+  Ps expect = t.delay(Kind::Dff, 2, 1) + t.delay(Kind::Inv, 1, 1) +
+              t.dff_setup();
+  EXPECT_EQ(rep.min_period, expect);
+  ASSERT_TRUE(rep.worst_capture.valid());
+  EXPECT_EQ(nl.cell(rep.worst_capture).outs[0], q1);
+  ASSERT_TRUE(rep.worst_launch.valid());
+  EXPECT_EQ(nl.cell(rep.worst_launch).outs[0], q0);
+  EXPECT_NE(format_period_report(nl, rep).find("min clock period"),
+            std::string::npos);
+}
+
+TEST(Sta, StorageDoesNotPropagate) {
+  Netlist nl("t");
+  Builder b(nl);
+  NetId a = b.input("a");
+  NetId ck = b.input("ck");
+  NetId q = b.dff(a, ck, V::V0);
+  NetId y = b.inv(q);
+  b.output(y);
+  Sta sta(nl, Tech::generic90());
+  Source src[] = {{a, 0}};
+  auto arr = sta.arrivals(src);
+  EXPECT_EQ(arr[q.value()], kUnreached);
+  EXPECT_EQ(arr[y.value()], kUnreached);
+}
+
+TEST(Sta, RamReadPathPropagatesWritePinsDoNot) {
+  Netlist nl("t");
+  Builder b(nl);
+  const Tech& t = Tech::generic90();
+  NetId ck = b.input("ck");
+  NetId we = b.input("we");
+  std::vector<NetId> wa, wd, ra;
+  for (int i = 0; i < 2; ++i) wa.push_back(b.input(cat("wa", i)));
+  for (int i = 0; i < 4; ++i) wd.push_back(b.input(cat("wd", i)));
+  for (int i = 0; i < 2; ++i) ra.push_back(b.input(cat("ra", i)));
+  auto rd = b.ram(ck, we, wa, wd, ra, 4, "m");
+  for (NetId r : rd) b.output(r);
+
+  Sta sta(nl, t);
+  Source src_ra[] = {{ra[0], 0}};
+  auto arr = sta.arrivals(src_ra);
+  EXPECT_NE(arr[rd[0].value()], kUnreached);
+
+  Source src_wd[] = {{wd[0], 0}};
+  auto arr2 = sta.arrivals(src_wd);
+  EXPECT_EQ(arr2[rd[0].value()], kUnreached);
+
+  // Write pins are setup endpoints.
+  nl::CellId ram = nl.find_cell("m");
+  ASSERT_TRUE(ram.valid());
+  EXPECT_NE(sta.storage_input_arrival(arr2, ram), kUnreached);
+}
+
+TEST(Sta, TracePathWalksBackToSource) {
+  Netlist nl("t");
+  Builder b(nl);
+  NetId a = b.input("a");
+  NetId n1 = b.inv(a);
+  NetId n2 = b.inv(n1);
+  NetId n3 = b.inv(n2);
+  b.output(n3);
+  Sta sta(nl, Tech::generic90());
+  Source src[] = {{a, 0}};
+  auto arr = sta.arrivals(src);
+  auto path = sta.trace_path(arr, n3);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), a);
+  EXPECT_EQ(path.back(), n3);
+  std::string s = format_path(nl, arr, path);
+  EXPECT_NE(s.find("primary input"), std::string::npos);
+}
+
+TEST(Sta, PureCombinationalFallsBackToPoArrival) {
+  Netlist nl("t");
+  Builder b(nl);
+  NetId a = b.input("a");
+  NetId y = b.inv(b.inv(a));
+  b.output(y);
+  Sta sta(nl, Tech::generic90());
+  auto rep = sta.min_clock_period();
+  EXPECT_GT(rep.min_period, 0);
+}
+
+TEST(Sta, LongerOfTwoPathsWins) {
+  Netlist nl("t");
+  Builder b(nl);
+  const Tech& t = Tech::generic90();
+  NetId a = b.input("a");
+  // Short path: direct; long path: 3 inverters.
+  NetId s = b.buf(a);
+  NetId l = b.inv(b.inv(b.inv(a)));
+  NetId y = b.and_({s, l});
+  b.output(y);
+  Sta sta(nl, t);
+  Source src[] = {{a, 0}};
+  auto arr = sta.arrivals(src);
+  Ps d_inv1 = t.delay(Kind::Inv, 1, 1);
+  Ps d_and = t.delay(Kind::And, 2, 0);
+  EXPECT_EQ(arr[y.value()], 3 * d_inv1 + d_and);
+}
+
+}  // namespace
+}  // namespace desyn::sta
