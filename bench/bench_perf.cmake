@@ -1,0 +1,22 @@
+# Resolve google-benchmark for bench_perf: system package first (config
+# mode, then pkg-config), FetchContent as the last resort.
+find_package(benchmark CONFIG QUIET)
+if(NOT benchmark_FOUND)
+  find_package(PkgConfig QUIET)
+  if(PkgConfig_FOUND)
+    pkg_check_modules(gbench QUIET IMPORTED_TARGET benchmark)
+    if(TARGET PkgConfig::gbench)
+      add_library(benchmark::benchmark ALIAS PkgConfig::gbench)
+      set(benchmark_FOUND TRUE)
+    endif()
+  endif()
+endif()
+if(NOT benchmark_FOUND)
+  include(FetchContent)
+  FetchContent_Declare(googlebenchmark
+    URL https://github.com/google/benchmark/archive/refs/tags/v1.8.3.tar.gz
+    DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+  set(BENCHMARK_ENABLE_TESTING OFF CACHE BOOL "" FORCE)
+  set(BENCHMARK_ENABLE_INSTALL OFF CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googlebenchmark)
+endif()

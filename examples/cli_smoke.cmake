@@ -1,0 +1,24 @@
+# End-to-end CLI smoke test driver (run via cmake -P):
+#   1. quickstart writes quickstart_sync.v (a clocked FF netlist)
+#   2. desyn_cli reads it, desynchronizes, and writes cli_out.v
+file(MAKE_DIRECTORY ${WORKDIR})
+
+execute_process(COMMAND ${QUICKSTART}
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "quickstart failed with exit code ${rc}")
+endif()
+if(NOT EXISTS ${WORKDIR}/quickstart_sync.v)
+  message(FATAL_ERROR "quickstart did not write quickstart_sync.v")
+endif()
+
+execute_process(COMMAND ${CLI} quickstart_sync.v clk cli_out.v
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "desyn_cli failed with exit code ${rc}")
+endif()
+if(NOT EXISTS ${WORKDIR}/cli_out.v)
+  message(FATAL_ERROR "desyn_cli did not write cli_out.v")
+endif()

@@ -43,7 +43,12 @@ int main() {
   printf("cycle time: sync %lldps -> desync %.0fps\n",
          static_cast<long long>(eq.sync_period), eq.desync_period);
 
-  // 4. Artifacts: structural Verilog and a waveform of the controllers.
+  // 4. Artifacts: structural Verilog (before and after) and a waveform of
+  //    the controllers. quickstart_sync.v is desyn_cli-ready input.
+  {
+    std::ofstream os("quickstart_sync.v");
+    nl::write_verilog(c.netlist, os);
+  }
   {
     std::ofstream os("quickstart_desync.v");
     nl::write_verilog(dr.netlist, os);
@@ -55,6 +60,6 @@ int main() {
     sim.run_until(20000);
     vcd.finish();
   }
-  printf("wrote quickstart_desync.v and quickstart_ctl.vcd\n");
+  printf("wrote quickstart_sync.v, quickstart_desync.v and quickstart_ctl.vcd\n");
   return eq.equivalent ? 0 : 1;
 }

@@ -1,7 +1,5 @@
 #include "netlist/query.h"
 
-#include <deque>
-
 namespace desyn::nl {
 
 namespace {
@@ -19,7 +17,10 @@ std::vector<CellId> topo_order(const Netlist& nl) {
   // Kahn's algorithm over the "evaluated" cells (non-cut). In-degree counts
   // input nets driven by other evaluated cells.
   std::vector<uint32_t> indeg(nl.num_cells(), 0);
-  std::deque<CellId> ready;
+  // Worklist: a plain vector with a consuming head index (a deque's block
+  // allocations showed up hot in simulator construction).
+  std::vector<CellId> ready;
+  size_t ready_head = 0;
   size_t eval_cells = 0;
 
   for (CellId c : nl.cells()) {
@@ -37,9 +38,8 @@ std::vector<CellId> topo_order(const Netlist& nl) {
 
   std::vector<CellId> order;
   order.reserve(nl.num_live_cells());
-  while (!ready.empty()) {
-    CellId c = ready.front();
-    ready.pop_front();
+  while (ready_head < ready.size()) {
+    CellId c = ready[ready_head++];
     order.push_back(c);
     for (NetId out : nl.cell(c).outs) {
       for (const Pin& p : nl.net(out).fanout) {

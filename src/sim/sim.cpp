@@ -1,6 +1,7 @@
 #include "sim/sim.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "netlist/query.h"
 
@@ -11,6 +12,93 @@ using nl::CellId;
 using nl::NetId;
 using nl::Pin;
 
+void Simulator::EventQueue::push(const Event& ev) {
+  // The cursor never passes an undrained time and never exceeds the
+  // simulation's `now_`, so a (time >= now) push is always reachable.
+  DESYN_ASSERT(ev.time >= cursor_, "event scheduled in the past");
+  if (ev.time >= cursor_ + static_cast<Ps>(kWheelSize)) {
+    overflow_.push(ev);
+  } else {
+    const uint64_t idx = static_cast<uint64_t>(ev.time) & (kWheelSize - 1);
+    occupied_[idx >> 6] |= uint64_t{1} << (idx & 63);
+    wheel_[idx].push_back(ev);
+    ++wheel_size_;
+  }
+}
+
+void Simulator::EventQueue::migrate() {
+  const Ps horizon = cursor_ + static_cast<Ps>(kWheelSize);
+  while (!overflow_.empty() && overflow_.top().time < horizon) {
+    Event ev = overflow_.top();
+    overflow_.pop();
+    const uint64_t idx = static_cast<uint64_t>(ev.time) & (kWheelSize - 1);
+    occupied_[idx >> 6] |= uint64_t{1} << (idx & 63);
+    wheel_[idx].push_back(ev);
+    ++wheel_size_;
+  }
+}
+
+Ps Simulator::EventQueue::next_occupied_after(Ps t) const {
+  const uint64_t start = (static_cast<uint64_t>(t) + 1) & (kWheelSize - 1);
+  uint64_t w = start >> 6;
+  uint64_t word = occupied_[w] & (~uint64_t{0} << (start & 63));
+  // <= kWords iterations: the wrapped-around first word re-checks only the
+  // bits below `start`, which map to the far end of the window.
+  for (size_t i = 0; i <= kWords; ++i) {
+    if (word != 0) {
+      const uint64_t idx = (w << 6) + static_cast<uint64_t>(
+                                          std::countr_zero(word));
+      const uint64_t off = (idx - static_cast<uint64_t>(t)) & (kWheelSize - 1);
+      return t + static_cast<Ps>(off);
+    }
+    w = (w + 1) & (kWords - 1);
+    word = occupied_[w];
+  }
+  return -1;
+}
+
+bool Simulator::EventQueue::pop_next(Ps limit, Event* out) {
+  for (;;) {
+    std::vector<Event>& b = bucket(cursor_);
+    if (drain_pos_ < b.size()) {
+      if (cursor_ > limit) return false;
+      *out = b[drain_pos_++];
+      --wheel_size_;
+      return true;
+    }
+    if (!b.empty()) {
+      b.clear();
+      const uint64_t idx = static_cast<uint64_t>(cursor_) & (kWheelSize - 1);
+      occupied_[idx >> 6] &= ~(uint64_t{1} << (idx & 63));
+    }
+    drain_pos_ = 0;
+    // Jump the cursor straight to the next event: the nearest occupied
+    // wheel bucket, or the overflow head once the wheel is drained (the
+    // overflow never holds anything earlier than the wheel).
+    Ps next;
+    if (wheel_size_ > 0) {
+      next = next_occupied_after(cursor_);
+      DESYN_ASSERT(next >= 0);
+    } else if (!overflow_.empty()) {
+      next = overflow_.top().time;
+    } else {
+      return false;
+    }
+    if (next > limit) {
+      if (cursor_ < limit) {
+        cursor_ = limit;
+        // The clamp grew the horizon: pull newly covered overflow events
+        // onto the wheel NOW, before any between-runs push at the same
+        // picosecond could slip in ahead of them and break FIFO seq order.
+        migrate();
+      }
+      return false;
+    }
+    cursor_ = next;
+    migrate();
+  }
+}
+
 Simulator::Simulator(const nl::Netlist& nl, const cell::Tech& tech)
     : nl_(nl), tech_(tech) {
   val_.assign(nl_.num_nets(), V::VX);
@@ -19,7 +107,29 @@ Simulator::Simulator(const nl::Netlist& nl, const cell::Tech& tech)
   version_.assign(nl_.num_nets(), 0);
   pending_.assign(nl_.num_nets(), 0);
   delay_.resize(nl_.num_cells(), 0);
+  ram_state_.resize(nl_.num_cells());
+  watchers_.resize(nl_.num_nets());
+  clock_half_period_.assign(nl_.num_nets(), 0);
   for (CellId c : nl_.cells()) delay_[c.value()] = cell_delay(c);
+  dff_setup_ = tech_.dff_setup();
+  // Flatten each net's fanout into the DFF-clock fast path + the rest.
+  ff_ck_off_.reserve(nl_.num_nets() + 1);
+  fan_off_.reserve(nl_.num_nets() + 1);
+  for (uint32_t n = 0; n < nl_.num_nets(); ++n) {
+    ff_ck_off_.push_back(static_cast<uint32_t>(ff_ck_.size()));
+    fan_off_.push_back(static_cast<uint32_t>(fan_pins_.size()));
+    for (const Pin& p : nl_.net(NetId(n)).fanout) {
+      const nl::CellData& cd = nl_.cell(p.cell);
+      if (cd.kind == Kind::Dff && p.index == 1) {
+        ff_ck_.push_back(
+            FfCkPin{cd.ins[0], cd.outs[0], p.cell, delay_[p.cell.value()]});
+      } else {
+        fan_pins_.push_back(p);
+      }
+    }
+  }
+  ff_ck_off_.push_back(static_cast<uint32_t>(ff_ck_.size()));
+  fan_off_.push_back(static_cast<uint32_t>(fan_pins_.size()));
   settle_initial_state();
 }
 
@@ -80,7 +190,7 @@ void Simulator::settle_initial_state() {
       uint64_t addr = 0;
       bool known = decode_addr(val_, cd.ins, ra_begin, cd.p0, &addr);
       const auto& mem = cd.kind == Kind::Rom ? nl_.payload(cd.payload)
-                                             : ram_state_.at(c.value());
+                                             : ram_state_[c.value()];
       for (size_t b = 0; b < cd.outs.size(); ++b) {
         val_[cd.outs[b].value()] =
             known ? cell::from_bool((mem[addr] >> b) & 1) : V::VX;
@@ -101,9 +211,8 @@ void Simulator::settle_initial_state() {
         }
       }
     } else if (cell::is_state_holding(cd.kind)) {
-      std::vector<V> b;
-      gather(val_, cd, b);
-      V nv = cell::eval_state_holding(cd.kind, b, val_[cd.outs[0].value()]);
+      gather(val_, cd, buf);
+      V nv = cell::eval_state_holding(cd.kind, buf, val_[cd.outs[0].value()]);
       if (nv != val_[cd.outs[0].value()]) {
         schedule(cd.outs[0], nv, delay_[c.value()]);
       }
@@ -136,7 +245,7 @@ void Simulator::add_clock(NetId net, Ps period, Ps first_rise) {
   DESYN_ASSERT(nl_.is_primary_input(net));
   set_input(net, V::V0, now_);
   set_input(net, V::V1, first_rise);
-  clocks_.push_back(Clock{net, period / 2});
+  clock_half_period_[net.value()] = period / 2;
 }
 
 void Simulator::watch(NetId net, Watcher w) {
@@ -149,15 +258,14 @@ void Simulator::clear_activity() {
 }
 
 uint64_t Simulator::ram_word(CellId ram, uint64_t addr) const {
-  const auto& mem = ram_state_.at(ram.value());
+  const auto& mem = ram_state_[ram.value()];
   DESYN_ASSERT(addr < mem.size());
   return mem[addr];
 }
 
 void Simulator::run_until(Ps t) {
-  while (!queue_.empty() && queue_.top().time <= t) {
-    Event ev = queue_.top();
-    queue_.pop();
+  Event ev;
+  while (queue_.pop_next(t, &ev)) {
     DESYN_ASSERT(ev.time >= now_);
     now_ = ev.time;
     apply(ev);
@@ -166,9 +274,8 @@ void Simulator::run_until(Ps t) {
 }
 
 bool Simulator::run_until_quiet(Ps max_t) {
-  while (!queue_.empty() && queue_.top().time <= max_t) {
-    Event ev = queue_.top();
-    queue_.pop();
+  Event ev;
+  while (queue_.pop_next(max_t, &ev)) {
     now_ = ev.time;
     apply(ev);
   }
@@ -189,31 +296,51 @@ void Simulator::apply(const Event& ev) {
 
   // Self-sustaining clocks reschedule their own next toggle. The initial
   // X->0 reset assignment does not count as an edge.
-  for (const Clock& ck : clocks_) {
-    if (ck.net == ev.net && ev.value != V::VX && oldv != V::VX) {
-      V nxt = ev.value == V::V1 ? V::V0 : V::V1;
-      queue_.push(Event{ev.time + ck.half_period, seq_++, ck.net, nxt,
-                        version_[ck.net.value()]});
-      break;
-    }
+  if (Ps hp = clock_half_period_[ev.net.value()];
+      hp > 0 && ev.value != V::VX && oldv != V::VX) {
+    V nxt = ev.value == V::V1 ? V::V0 : V::V1;
+    queue_.push(
+        Event{ev.time + hp, seq_++, ev.net, nxt, version_[ev.net.value()]});
   }
 
-  if (auto it = watchers_.find(ev.net.value()); it != watchers_.end()) {
-    for (const Watcher& w : it->second) w(ev.time, ev.value);
+  for (const Watcher& w : watchers_[ev.net.value()]) w(ev.time, ev.value);
+
+  const uint32_t ni = ev.net.value();
+  // Rising edge: clocked flip-flops capture D (setup-checked) — the
+  // flattened fast path. Falling edges skip the whole flip-flop fanout.
+  if (oldv == V::V0 && ev.value == V::V1) {
+    const uint32_t end = ff_ck_off_[ni + 1];
+    for (uint32_t i = ff_ck_off_[ni]; i < end; ++i) {
+      const FfCkPin& ff = ff_ck_[i];
+      const Ps lc = last_change_[ff.d.value()];
+      if (lc >= 0) {
+        const Ps slack = (ev.time - lc) - dff_setup_;
+        if (slack < 0) {
+          ++violation_count_;
+          if (violations_.size() < kMaxRecordedViolations) {
+            violations_.push_back(
+                SetupViolation{ev.time, ff.cell, ff.d, slack});
+          }
+        }
+      }
+      schedule(ff.q, val_[ff.d.value()], ev.time + ff.delay);
+    }
   }
-  for (const Pin& p : nl_.net(ev.net).fanout) {
-    evaluate_pin(p, oldv);
+  const uint32_t end = fan_off_[ni + 1];
+  for (uint32_t i = fan_off_[ni]; i < end; ++i) {
+    evaluate_pin(fan_pins_[i], oldv);
   }
 }
 
 void Simulator::check_setup(CellId c, Ps edge_time) {
   const nl::CellData& cd = nl_.cell(c);
+  // DFF capture edges are setup-checked inline by apply()'s fast path;
+  // this generic path covers the latch closing edge and the RAM clock.
   Ps setup = cell::is_latch(cd.kind) ? tech_.latch_setup() : tech_.dff_setup();
   size_t lo = 0, hi = 0;
   switch (cd.kind) {
     case Kind::Latch:
     case Kind::LatchN:
-    case Kind::Dff:
       lo = 0;
       hi = 1;
       break;
@@ -241,16 +368,10 @@ void Simulator::evaluate_pin(Pin p, V oldv) {
   const nl::CellData& cd = nl_.cell(p.cell);
   const Ps d = delay_[p.cell.value()];
   switch (cd.kind) {
-    case Kind::Dff: {
-      if (p.index == 1) {  // CK
-        V nv = val_[cd.ins[1].value()];
-        if (oldv == V::V0 && nv == V::V1) {
-          check_setup(p.cell, now_);
-          schedule(cd.outs[0], val_[cd.ins[0].value()], now_ + d);
-        }
-      }
+    case Kind::Dff:
+      // Only the D pin (index 0) is routed here, and D changes alone never
+      // act; clock pins take the flattened ff_ck_ fast path in apply().
       return;
-    }
     case Kind::Latch:
     case Kind::LatchN: {
       const V t = cd.kind == Kind::Latch ? V::V1 : V::V0;
@@ -294,7 +415,7 @@ void Simulator::evaluate_pin(Pin p, V oldv) {
       if (read_dirty) {
         uint64_t ra = 0;
         bool known = decode_addr(val_, cd.ins, ra_begin, cd.p0, &ra);
-        const auto& mem = ram_state_.at(p.cell.value());
+        const auto& mem = ram_state_[p.cell.value()];
         for (size_t b = 0; b < cd.outs.size(); ++b) {
           V v = known ? cell::from_bool((mem[ra] >> b) & 1) : V::VX;
           schedule(cd.outs[b], v, now_ + d);
@@ -314,17 +435,15 @@ void Simulator::evaluate_pin(Pin p, V oldv) {
     }
     case Kind::CElem:
     case Kind::Gc: {
-      std::vector<V> buf;
-      gather(val_, cd, buf);
-      V nv = cell::eval_state_holding(cd.kind, buf,
+      gather(val_, cd, eval_buf_);
+      V nv = cell::eval_state_holding(cd.kind, eval_buf_,
                                       val_[cd.outs[0].value()]);
       schedule(cd.outs[0], nv, now_ + d);
       return;
     }
     default: {
-      std::vector<V> buf;
-      gather(val_, cd, buf);
-      schedule(cd.outs[0], cell::eval_comb(cd.kind, buf), now_ + d);
+      gather(val_, cd, eval_buf_);
+      schedule(cd.outs[0], cell::eval_comb(cd.kind, eval_buf_), now_ + d);
       return;
     }
   }

@@ -19,12 +19,19 @@
 //    rise) with a data input that changed less than `setup` ago is recorded
 //    as a violation. The margin bench uses this to find the failure point
 //    of under-sized matched delays.
+//
+// Performance: all per-net and per-cell state (values, toggle counters,
+// RAM contents, watchers, clock periods, cached delays) lives in dense
+// vectors indexed by id, and the pending-event set is a time-bucketed
+// calendar queue (timing wheel + overflow heap) — O(1) schedule/pop
+// instead of hash lookups and binary-heap reshuffles on the inner loop.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <queue>
 #include <span>
-#include <unordered_map>
+#include <vector>
 
 #include "cell/tech.h"
 #include "netlist/netlist.h"
@@ -102,6 +109,50 @@ class Simulator {
     }
   };
 
+  /// Time-bucketed calendar queue. A timing wheel of 1 ps buckets covers the
+  /// next kWheelSize picoseconds; events beyond that horizon wait in a
+  /// binary-heap overflow and migrate into the wheel as the cursor advances.
+  /// Within a bucket (one picosecond) events drain FIFO — push order equals
+  /// seq order, including migrated overflow events (the heap ties on seq and
+  /// migration happens the instant the horizon first covers a time, before
+  /// any direct push at that time can occur) — so inertial-delay semantics
+  /// are identical to the former priority_queue, with O(1) push/pop on the
+  /// hot path instead of O(log n).
+  class EventQueue {
+   public:
+    EventQueue() : wheel_(kWheelSize) {}
+    /// `ev.time` must be >= the last popped/clamped time (simulation time
+    /// is monotone; Simulator guarantees this via its `now_` asserts).
+    void push(const Event& ev);
+    /// Pops the next event with time <= `limit` into `*out`. Returns false
+    /// when none exists; the cursor then rests at min(next event, limit) so
+    /// later pushes at the current simulation time stay reachable.
+    bool pop_next(Ps limit, Event* out);
+    bool empty() const { return wheel_size_ == 0 && overflow_.empty(); }
+
+   private:
+    static constexpr size_t kWheelSize = size_t{1} << 10;  // 1024 ps window
+    static constexpr size_t kWords = kWheelSize / 64;      // occupancy bitmap
+
+    std::vector<Event>& bucket(Ps t) {
+      return wheel_[static_cast<uint64_t>(t) & (kWheelSize - 1)];
+    }
+    /// Smallest occupied wheel time strictly greater than `t` (which must
+    /// be the cursor; the window invariant makes the mapping from bucket
+    /// index back to absolute time unique). -1 if the wheel is empty.
+    Ps next_occupied_after(Ps t) const;
+    /// Move overflow events now inside the horizon onto the wheel.
+    void migrate();
+
+    std::vector<std::vector<Event>> wheel_;
+    std::array<uint64_t, kWords> occupied_{};  // bit per non-empty bucket
+    size_t wheel_size_ = 0;  // live (unpopped) events on the wheel
+    size_t drain_pos_ = 0;   // consumed prefix of bucket(cursor_)
+    Ps cursor_ = 0;          // current drain time; never retreats
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        overflow_;
+  };
+
   void schedule(nl::NetId net, V v, Ps at);
   void apply(const Event& ev);
   void evaluate_pin(nl::Pin p, V old_cause);
@@ -118,17 +169,30 @@ class Simulator {
   std::vector<uint64_t> version_;  // per net, pending-event version
   std::vector<uint8_t> pending_;   // per net, 1 if latest schedule not applied
   std::vector<Ps> delay_;          // per cell, cached
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  EventQueue queue_;
   uint64_t seq_ = 0;
+  std::vector<V> eval_buf_;  // scratch for cell evaluation (no per-event
+                             // allocation on the hot path)
 
-  std::unordered_map<uint32_t, std::vector<uint64_t>> ram_state_;  // by cell
-  std::unordered_map<uint32_t, std::vector<Watcher>> watchers_;    // by net
+  std::vector<std::vector<uint64_t>> ram_state_;  // per cell; empty unless RAM
+  std::vector<std::vector<Watcher>> watchers_;    // per net
+  std::vector<Ps> clock_half_period_;  // per net; 0 = not a free-running clock
 
-  struct Clock {
-    nl::NetId net;
-    Ps half_period;
+  /// Flattened fanout, CSR-indexed by net id. DFF clock pins — the bulk of
+  /// a clocked design's event traffic — are pre-resolved into a dedicated
+  /// record (D net, Q net, delay) acted on only for rising edges, so the
+  /// inner loop touches no CellData at all and falling clock edges skip
+  /// every flip-flop. All remaining pins go through evaluate_pin.
+  struct FfCkPin {
+    nl::NetId d, q;
+    nl::CellId cell;  // for setup-violation reporting
+    Ps delay;
   };
-  std::vector<Clock> clocks_;
+  std::vector<FfCkPin> ff_ck_;
+  std::vector<uint32_t> ff_ck_off_;  // num_nets + 1 offsets into ff_ck_
+  std::vector<nl::Pin> fan_pins_;
+  std::vector<uint32_t> fan_off_;  // num_nets + 1 offsets into fan_pins_
+  Ps dff_setup_ = 0;               // cached tech_.dff_setup()
 
   std::vector<SetupViolation> violations_;
   uint64_t violation_count_ = 0;

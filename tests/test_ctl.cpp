@@ -110,9 +110,15 @@ TEST(Protocol, Fig4PairwiseMarkings) {
   // Alternation tokens follow transparency: A (even) has a+ -> a- marked.
   for (uint32_t i = 0; i < mg.num_arcs(); ++i) {
     const pn::Arc& arc = mg.arc(pn::ArcId(i));
-    if (arc.from == bt[0].plus && arc.to == bt[0].minus) EXPECT_EQ(arc.tokens, 1);
-    if (arc.from == bt[1].minus && arc.to == bt[1].plus) EXPECT_EQ(arc.tokens, 1);
-    if (arc.from == bt[1].plus && arc.to == bt[1].minus) EXPECT_EQ(arc.tokens, 0);
+    if (arc.from == bt[0].plus && arc.to == bt[0].minus) {
+      EXPECT_EQ(arc.tokens, 1);
+    }
+    if (arc.from == bt[1].minus && arc.to == bt[1].plus) {
+      EXPECT_EQ(arc.tokens, 1);
+    }
+    if (arc.from == bt[1].plus && arc.to == bt[1].minus) {
+      EXPECT_EQ(arc.tokens, 0);
+    }
   }
 }
 

@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "circuits/circuits.h"
+#include "core/desynchronizer.h"
 #include "netlist/builder.h"
 #include "sim/power.h"
 #include "sim/vcd.h"
@@ -378,6 +380,123 @@ TEST(Sim, ActivityWindowReset) {
   sim.clear_activity();
   EXPECT_EQ(sim.toggles(a), 0u);
   EXPECT_EQ(sim.activity_window_start(), 300);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the event queue breaks time ties FIFO by sequence number, so
+// a simulation is a pure function of (netlist, stimulus). These tests guard
+// that property against queue rearchitectures.
+// ---------------------------------------------------------------------------
+
+struct SimTrace {
+  std::vector<uint64_t> toggles;
+  std::vector<V> values;
+  uint64_t events = 0;
+  uint64_t violations = 0;
+
+  static SimTrace of(const Simulator& sim) {
+    SimTrace t;
+    const nl::Netlist& netl = sim.netlist();
+    for (uint32_t n = 0; n < netl.num_nets(); ++n) {
+      t.toggles.push_back(sim.toggles(NetId(n)));
+      t.values.push_back(sim.value(NetId(n)));
+    }
+    t.events = sim.events_processed();
+    t.violations = sim.setup_violation_count();
+    return t;
+  }
+
+  friend bool operator==(const SimTrace& a, const SimTrace& b) {
+    return a.toggles == b.toggles && a.values == b.values &&
+           a.events == b.events && a.violations == b.violations;
+  }
+};
+
+TEST(Sim, DeterministicReplaySelfTimed) {
+  // A desynchronized circuit is the hardest case: no global clock, the
+  // controllers self-oscillate, and many events share timestamps.
+  circuits::Circuit c = circuits::pipeline(4, 8, 2);
+  const cell::Tech& t = cell::Tech::generic90();
+  flow::DesyncResult dr = flow::desynchronize(c.netlist, c.clock, t);
+
+  auto run = [&] {
+    Simulator sim(dr.netlist, t);
+    poke_word(sim, dr.netlist.inputs(), 0x5a, 0);
+    sim.run_until(50000);
+    return SimTrace::of(sim);
+  };
+  SimTrace first = run();
+  EXPECT_GT(first.events, 100u);  // the circuit actually ran
+  EXPECT_TRUE(first == run());
+}
+
+TEST(Sim, ChunkedRunMatchesOneShot) {
+  // run_until() in odd-sized increments must be indistinguishable from one
+  // call — the queue cursor may rest at any intermediate time. Stimulus is
+  // scheduled far ahead so events also cross the calendar-queue horizon.
+  const cell::Tech& t = cell::Tech::generic90();
+  auto stimulate = [&](Simulator& sim, const circuits::Circuit& c) {
+    sim.add_clock(c.clock, 2000, 1000);
+    uint64_t word = 0x13;
+    for (Ps at = 0; at < 30000; at += 7600) {
+      poke_word(sim, sim.netlist().inputs(), word, at);
+      word = word * 2862933555777941757ull + 3037000493ull;
+    }
+  };
+
+  circuits::Circuit c = circuits::pipeline(3, 8, 2);
+  Simulator oneshot(c.netlist, t);
+  stimulate(oneshot, c);
+  oneshot.run_until(40000);
+
+  Simulator chunked(c.netlist, t);
+  stimulate(chunked, c);
+  for (Ps at = 137; at < 40000; at += 137) chunked.run_until(at);
+  chunked.run_until(40000);
+
+  EXPECT_GT(oneshot.events_processed(), 100u);
+  EXPECT_TRUE(SimTrace::of(oneshot) == SimTrace::of(chunked));
+}
+
+TEST(Sim, StimulusAcrossRunsKeepsFifoOrder) {
+  // Two stimulus events on the same net at the same picosecond must apply
+  // in scheduling order even when the first is queued beyond the calendar
+  // horizon and a bounded run_until() rests the cursor in between (the
+  // second push then lands inside the wheel window directly).
+  Netlist netl("fifo");
+  Builder b(netl);
+  NetId a = b.input("a");
+  b.output(b.buf(a, "y"));
+  const cell::Tech& t = cell::Tech::generic90();
+
+  Simulator sim(netl, t);
+  sim.set_input(a, V::V1, 5000);  // far beyond the wheel window
+  sim.run_until(4000);            // cursor rests just short of the event
+  sim.set_input(a, V::V0, 5000);  // same instant, scheduled later
+  sim.run_until(10000);
+  EXPECT_EQ(sim.value(a), V::V0);  // later-scheduled value wins the tie
+}
+
+TEST(Sim, RunUntilQuietMatchesBoundedRun) {
+  // Quiescing via run_until_quiet must leave the same state as running past
+  // the quiesce point with run_until.
+  Netlist netl("q");
+  Builder b(netl);
+  NetId a = b.input("a");
+  NetId y = a;
+  for (int i = 0; i < 8; ++i) y = b.inv(y, cat("n", i));
+  b.output(y);
+  const cell::Tech& t = cell::Tech::generic90();
+
+  Simulator s1(netl, t);
+  s1.set_input(a, V::V1, 10);
+  EXPECT_TRUE(s1.run_until_quiet(100000));
+
+  Simulator s2(netl, t);
+  s2.set_input(a, V::V1, 10);
+  s2.run_until(100000);
+  EXPECT_EQ(s1.value(y), s2.value(y));
+  EXPECT_EQ(s1.events_processed(), s2.events_processed());
 }
 
 }  // namespace
