@@ -22,3 +22,24 @@ endif()
 if(NOT EXISTS ${WORKDIR}/cli_out.v)
   message(FATAL_ERROR "desyn_cli did not write cli_out.v")
 endif()
+
+# 3. the same design under a level-enable protocol
+execute_process(COMMAND ${CLI} quickstart_sync.v clk cli_fully.v
+    --protocol fully
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "desyn_cli --protocol fully failed with exit code ${rc}")
+endif()
+if(NOT EXISTS ${WORKDIR}/cli_fully.v)
+  message(FATAL_ERROR "desyn_cli did not write cli_fully.v")
+endif()
+
+# 4. the protocol x circuit x margin sweep (compact smoke configuration);
+#    nonzero exit means a combination failed flow equivalence.
+execute_process(COMMAND ${CLI} sweep --margins 1.1 --rounds 15
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "desyn_cli sweep failed with exit code ${rc}")
+endif()

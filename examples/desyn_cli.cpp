@@ -1,15 +1,34 @@
-// desyn_cli — the flow as a command-line tool:
+// desyn_cli — the flow as a command-line tool.
+//
+// Single-design mode:
 //
 //   desyn_cli <input.v> <clock-net> <output.v> [margin] [strategy]
+//             [--protocol lockstep|semi|fully|pulse]
 //
 // Reads a structural-Verilog FF netlist (the subset write_verilog emits),
-// desynchronizes it, writes the self-timed netlist, and prints the
-// bank/edge report plus the analytic cycle-time prediction. `strategy` is
-// one of prefix|perff|single (default prefix).
+// desynchronizes it under the chosen handshake protocol, writes the
+// self-timed netlist, and prints the bank/edge report plus the analytic
+// cycle-time prediction. `strategy` is one of prefix|perff|single
+// (default prefix).
+//
+// Sweep mode — the protocol x circuit x margin study over the built-in
+// circuit suite:
+//
+//   desyn_cli sweep [--margins 1.0,1.1,1.3] [--protocol <p>|all]
+//                   [--rounds N] [--full-suite]
+//
+// For every combination the tool desynchronizes the circuit, predicts the
+// cycle time analytically (max cycle ratio of the timed control model) and
+// measures it by gate-level simulation inside the flow-equivalence
+// checker, which simultaneously proves the transformation correct. Exits
+// nonzero if any combination fails flow equivalence.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "circuits/circuits.h"
 #include "core/desynchronizer.h"
 #include "core/report.h"
 #include "netlist/query.h"
@@ -17,66 +36,208 @@
 #include "netlist/writer.h"
 #include "pn/mcr.h"
 #include "sta/sta.h"
+#include "verif/flow_equivalence.h"
 
 using namespace desyn;
 
-int main(int argc, char** argv) {
-  if (argc < 4) {
+namespace {
+
+/// Checked numeric CLI arguments: malformed input is a clean `error: ...`
+/// exit, never an uncaught std::invalid_argument out of stoi/stod.
+double parse_margin(const std::string& s) {
+  try {
+    size_t used = 0;
+    double v = std::stod(s, &used);
+    if (used != s.size() || !(v >= 1.0) || !(v <= 100.0)) fail("");
+    return v;
+  } catch (...) {
+    fail("malformed margin '", s, "' (need a number in [1, 100])");
+  }
+}
+
+int parse_count(const std::string& s, const char* what) {
+  try {
+    size_t used = 0;
+    int v = std::stoi(s, &used);
+    if (used != s.size() || v <= 0) fail("");
+    return v;
+  } catch (...) {
+    fail("malformed ", what, " '", s, "' (need a positive integer)");
+  }
+}
+
+std::vector<double> parse_margins(const std::string& list) {
+  std::vector<double> out;
+  std::string cur;
+  for (char c : list + ",") {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(parse_margin(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (out.empty()) fail("--margins needs at least one value");
+  return out;
+}
+
+int run_sweep(int argc, char** argv) {
+  std::vector<double> margins = {1.0, 1.1, 1.3};
+  std::vector<ctl::Protocol> protocols(std::begin(ctl::kAllProtocols),
+                                       std::end(ctl::kAllProtocols));
+  int rounds = 25;
+  bool full_suite = false;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) fail(flag, " needs a value");
+      return argv[++i];
+    };
+    if (a == "--margins") {
+      margins = parse_margins(need_value("--margins"));
+    } else if (a == "--protocol") {
+      std::string v = need_value("--protocol");
+      if (v != "all") protocols = {ctl::parse_protocol(v)};
+    } else if (a == "--rounds") {
+      rounds = parse_count(need_value("--rounds"), "--rounds value");
+    } else if (a == "--full-suite") {
+      full_suite = true;
+    } else {
+      fail("unknown sweep option '", a, "'");
+    }
+  }
+
+  // The compact mix keeps the sweep CI-friendly; --full-suite runs all of
+  // circuits::scaling_suite() (the largest entries dominate the runtime).
+  std::vector<circuits::Suite> suite;
+  for (circuits::Suite& s : circuits::scaling_suite()) {
+    if (full_suite || s.name == "pipe4x8" || s.name == "lfsr16" ||
+        s.name == "counters4x8" || s.name == "crc32" || s.name == "fir8x12") {
+      suite.push_back(std::move(s));
+    }
+  }
+
+  const cell::Tech& tech = cell::Tech::generic90();
+  printf("%-12s %-15s %-7s %9s %10s %10s %8s %5s\n", "circuit", "protocol",
+         "margin", "sync(ps)", "pred(ps)", "meas(ps)", "meas/pred", "eq");
+  int failures = 0;
+  for (const circuits::Suite& s : suite) {
+    sta::Sta sta(s.circuit.netlist, tech);
+    Ps sync_period = sta.min_clock_period().min_period;
+    for (ctl::Protocol p : protocols) {
+      for (double m : margins) {
+        verif::FlowEqOptions opt;
+        opt.rounds = rounds;
+        opt.desync.margin = m;
+        opt.desync.protocol = p;
+        auto res = verif::check_flow_equivalence(
+            s.circuit.netlist, s.circuit.clock, verif::random_stimulus(17),
+            tech, opt);
+        bool ok = res.equivalent && res.desync_setup_violations == 0;
+        if (!ok) ++failures;
+        printf("%-12s %-15s %-7.2f %9lld %10.0f %10.0f %8.2f %5s\n",
+               s.name.c_str(), ctl::protocol_name(p), m,
+               static_cast<long long>(sync_period), res.predicted_period,
+               res.desync_period,
+               res.predicted_period > 0
+                   ? res.desync_period / res.predicted_period
+                   : 0.0,
+               ok ? "yes" : "NO");
+        if (!ok && !res.mismatch.empty()) {
+          printf("    ^ %s\n", res.mismatch.c_str());
+        }
+      }
+    }
+  }
+  printf("\n%d combination(s) failed\n", failures);
+  return failures == 0 ? 0 : 1;
+}
+
+int run_single(int argc, char** argv) {
+  // Positional arguments with an optional --protocol anywhere after them.
+  std::vector<std::string> pos;
+  ctl::Protocol protocol = ctl::Protocol::Pulse;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--protocol") {
+      if (i + 1 >= argc) fail("--protocol needs a value");
+      protocol = ctl::parse_protocol(argv[++i]);
+    } else {
+      pos.push_back(a);
+    }
+  }
+  if (pos.size() < 3) {
     std::fprintf(stderr,
-                 "usage: %s <input.v> <clock-net> <output.v> [margin] "
-                 "[prefix|perff|single]\n",
-                 argv[0]);
+                 "usage: desyn_cli <input.v> <clock-net> <output.v> [margin] "
+                 "[prefix|perff|single] [--protocol lockstep|semi|fully|pulse]\n"
+                 "       desyn_cli sweep [--margins 1.0,1.1,1.3] "
+                 "[--protocol <p>|all] [--rounds N] [--full-suite]\n");
     return 2;
   }
+  std::ifstream in(pos[0]);
+  if (!in) fail("cannot open ", pos[0]);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  nl::Netlist ff = nl::read_verilog(ss.str(), pos[0]);
+  nl::NetId clock = ff.find_net(pos[1]);
+  if (!clock.valid()) fail("no net named '", pos[1], "' in ", pos[0]);
+
+  flow::DesyncOptions opt;
+  opt.protocol = protocol;
+  if (pos.size() > 3) opt.margin = parse_margin(pos[3]);
+  if (pos.size() > 4) {
+    if (pos[4] == "perff") {
+      opt.strategy = flow::BankStrategy::PerFlipFlop;
+    } else if (pos[4] == "single") {
+      opt.strategy = flow::BankStrategy::Single;
+    } else if (pos[4] == "prefix") {
+      opt.strategy = flow::BankStrategy::Prefix;
+    } else {
+      fail("unknown bank strategy '", pos[4],
+           "' (expected prefix|perff|single)");
+    }
+  }
+
+  const cell::Tech& tech = cell::Tech::generic90();
+  sta::Sta sta(ff, tech);
+  Ps sync_period = sta.min_clock_period().min_period;
+
+  flow::DesyncResult dr = flow::desynchronize(ff, clock, tech, opt);
+  std::ofstream out(pos[2]);
+  if (!out) fail("cannot write ", pos[2]);
+  nl::write_verilog(dr.netlist, out);
+
+  std::printf("protocol: %s\n", ctl::protocol_name(opt.protocol));
+  std::printf("input : %s\n", nl::stats(ff, tech).to_string().c_str());
+  std::printf("output: %s\n", nl::stats(dr.netlist, tech).to_string().c_str());
+  std::printf("banks (%zu):\n", dr.cg.num_banks());
+  for (size_t i = 0; i < dr.cg.num_banks(); ++i) {
+    std::printf("  %-20s %s\n", dr.cg.bank(static_cast<int>(i)).name.c_str(),
+                dr.cg.bank(static_cast<int>(i)).even ? "even" : "odd");
+  }
+  std::printf("edges (%zu):\n", dr.cg.edges().size());
+  for (const auto& e : dr.cg.edges()) {
+    std::printf("  %-20s -> %-20s matched %lldps\n",
+                dr.cg.bank(e.from).name.c_str(),
+                dr.cg.bank(e.to).name.c_str(),
+                static_cast<long long>(e.matched_delay));
+  }
+  auto mcr = pn::max_cycle_ratio(flow::timed_control_model(dr, tech));
+  std::printf("sync STA min period : %lldps\n",
+              static_cast<long long>(sync_period));
+  std::printf("desync predicted    : %.0fps (max cycle ratio)\n", mcr.ratio);
+  std::printf("wrote %s\n", pos[2].c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   try {
-    std::ifstream in(argv[1]);
-    if (!in) fail("cannot open ", argv[1]);
-    std::stringstream ss;
-    ss << in.rdbuf();
-    nl::Netlist ff = nl::read_verilog(ss.str());
-    nl::NetId clock = ff.find_net(argv[2]);
-    if (!clock.valid()) fail("no net named '", argv[2], "' in ", argv[1]);
-
-    flow::DesyncOptions opt;
-    if (argc > 4) opt.margin = std::stod(argv[4]);
-    if (argc > 5) {
-      std::string s = argv[5];
-      opt.strategy = s == "perff"    ? flow::BankStrategy::PerFlipFlop
-                     : s == "single" ? flow::BankStrategy::Single
-                                     : flow::BankStrategy::Prefix;
+    if (argc > 1 && std::string(argv[1]) == "sweep") {
+      return run_sweep(argc, argv);
     }
-
-    const cell::Tech& tech = cell::Tech::generic90();
-    sta::Sta sta(ff, tech);
-    Ps sync_period = sta.min_clock_period().min_period;
-
-    flow::DesyncResult dr = flow::desynchronize(ff, clock, tech, opt);
-    std::ofstream out(argv[3]);
-    if (!out) fail("cannot write ", argv[3]);
-    nl::write_verilog(dr.netlist, out);
-
-    std::printf("input : %s\n", nl::stats(ff, tech).to_string().c_str());
-    std::printf("output: %s\n",
-                nl::stats(dr.netlist, tech).to_string().c_str());
-    std::printf("banks (%zu):\n", dr.cg.num_banks());
-    for (size_t i = 0; i < dr.cg.num_banks(); ++i) {
-      std::printf("  %-20s %s\n",
-                  dr.cg.bank(static_cast<int>(i)).name.c_str(),
-                  dr.cg.bank(static_cast<int>(i)).even ? "even" : "odd");
-    }
-    std::printf("edges (%zu):\n", dr.cg.edges().size());
-    for (const auto& e : dr.cg.edges()) {
-      std::printf("  %-20s -> %-20s matched %lldps\n",
-                  dr.cg.bank(e.from).name.c_str(),
-                  dr.cg.bank(e.to).name.c_str(),
-                  static_cast<long long>(e.matched_delay));
-    }
-    auto mcr = pn::max_cycle_ratio(flow::timed_control_model(dr, tech));
-    std::printf("sync STA min period : %lldps\n",
-                static_cast<long long>(sync_period));
-    std::printf("desync predicted    : %.0fps (max cycle ratio)\n", mcr.ratio);
-    std::printf("wrote %s\n", argv[3]);
-    return 0;
+    return run_single(argc, argv);
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

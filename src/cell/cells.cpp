@@ -52,6 +52,19 @@ bool is_combinational(Kind k) {
   }
 }
 
+bool is_variable_arity(Kind k) {
+  switch (k) {
+    case Kind::And:
+    case Kind::Nand:
+    case Kind::Or:
+    case Kind::Nor:
+    case Kind::CElem:
+      return true;
+    default:
+      return false;
+  }
+}
+
 bool is_storage(Kind k) {
   return k == Kind::Latch || k == Kind::LatchN || k == Kind::Dff ||
          k == Kind::Ram;

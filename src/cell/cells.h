@@ -54,6 +54,10 @@ const char* kind_name(Kind k);
 
 /// True for cells whose output depends only on current inputs.
 bool is_combinational(Kind k);
+/// True for kinds whose instances carry a per-instance arity (written as a
+/// numeric type suffix, e.g. "AND3"). The single source of truth for the
+/// Verilog writer and reader.
+bool is_variable_arity(Kind k);
 /// True for cells with internal state updated by the simulator (latches,
 /// flip-flops, RAM write port).
 bool is_storage(Kind k);

@@ -17,7 +17,8 @@ Ps with_margin(Ps delay, double margin) {
 AdjacencyResult extract_control_graph(const nl::Netlist& nl,
                                       const LatchifyResult& lr,
                                       nl::NetId clock,
-                                      const cell::Tech& tech, double margin) {
+                                      const cell::Tech& tech, double margin,
+                                      ctl::Protocol protocol) {
   AdjacencyResult res;
   for (const Bank& b : lr.banks) res.cg.add_bank(b.name, b.even);
   res.env_snk = res.cg.add_bank("env_snk", true);
@@ -113,6 +114,29 @@ AdjacencyResult extract_control_graph(const nl::Netlist& nl,
     }
     for (auto [reader, writer] : ordering) {
       res.cg.add_edge(reader, writer, 0);
+    }
+  }
+
+  // Command stability for the fully-decoupled protocol: a RAM commits its
+  // write on the writer bank's opening (writer+), and the command pins are
+  // held by master latches in other even banks. Lockstep and semi-decoupled
+  // order writer+ after those masters' captures through their own arcs
+  // (a- -> b- resp. a- -> b+); fully-decoupled has neither, so close the
+  // loop explicitly with a writer -> command-source edge, whose b- -> a+
+  // successor arc is exactly "commit only after every command source
+  // captured".
+  if (protocol == ctl::Protocol::FullyDecoupled) {
+    std::vector<std::pair<int, int>> closures;
+    for (size_t s = 0; s < lr.banks.size(); ++s) {
+      if (lr.banks[s].rams.empty() || lr.banks[s].even) continue;
+      for (const auto& e : res.cg.edges()) {
+        if (e.to != static_cast<int>(s)) continue;
+        if (e.from >= static_cast<int>(lr.banks.size())) continue;  // env
+        closures.push_back({static_cast<int>(s), e.from});
+      }
+    }
+    for (auto [writer, cmd_src] : closures) {
+      res.cg.add_edge(writer, cmd_src, 0);
     }
   }
 

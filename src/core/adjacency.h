@@ -26,9 +26,15 @@ struct AdjacencyResult {
   int env_src = -1;
 };
 
+/// `protocol` only affects RAM-bearing designs: the ordering edges that
+/// keep a RAM's write commit inside the window its readers and command
+/// sources expect differ between the pulse and the level-enable protocols
+/// (see the read-before-write and command-stability notes in the .cpp).
 AdjacencyResult extract_control_graph(const nl::Netlist& nl,
                                       const LatchifyResult& lr,
                                       nl::NetId clock,
-                                      const cell::Tech& tech, double margin);
+                                      const cell::Tech& tech, double margin,
+                                      ctl::Protocol protocol =
+                                          ctl::Protocol::Pulse);
 
 }  // namespace desyn::flow

@@ -7,21 +7,22 @@ namespace desyn::flow {
 DesyncResult desynchronize(const nl::Netlist& ff_netlist, nl::NetId clock,
                            const cell::Tech& tech, const DesyncOptions& opt) {
   DESYN_ASSERT(opt.margin >= 1.0, "matched-delay margin must be >= 1");
-  DesyncResult res{ff_netlist, {}, {}, {}, -1, -1};
+  DesyncResult res{ff_netlist, {}, {}, {}, -1, -1, opt.protocol};
   nl::Netlist& nl = res.netlist;
 
   res.banks = latchify(nl, clock, opt.strategy);
-  AdjacencyResult adj =
-      extract_control_graph(nl, res.banks, clock, tech, opt.margin);
+  AdjacencyResult adj = extract_control_graph(nl, res.banks, clock, tech,
+                                              opt.margin, opt.protocol);
   res.cg = std::move(adj.cg);
   res.env_snk = adj.env_snk;
   res.env_src = adj.env_src;
 
   nl::Builder b(nl);
-  res.ctrl = ctl::synthesize_controllers(b, res.cg, ctl::Protocol::Pulse, tech);
+  res.ctrl = ctl::synthesize_controllers(b, res.cg, opt.protocol, tech);
 
-  // Rewire storage control pins from the clock to the local pulses. The
-  // pulse is transparent-high for every bank, so masters flip LatchN->Latch.
+  // Rewire storage control pins from the clock to the local enables. The
+  // enable is transparent-high for every bank under every protocol, so
+  // masters flip LatchN->Latch.
   for (size_t i = 0; i < res.banks.banks.size(); ++i) {
     const Bank& bank = res.banks.banks[i];
     nl::NetId en = res.ctrl.enables[i];
@@ -31,8 +32,13 @@ DesyncResult desynchronize(const nl::Netlist& ff_netlist, nl::NetId clock,
       }
       nl.rewire_input(c, 1, en);  // EN pin
     }
+    // RAM CK: the write commits on the enable's rise (the pulse start /
+    // writer+). Every protocol orders writer+ after the captures of the
+    // banks reading the RAM (the adjacency's reader -> writer edges) and
+    // after the command-hold masters' captures, so the commit samples a
+    // stable command and readers see strictly pre-write data.
     for (nl::CellId c : bank.rams) {
-      nl.rewire_input(c, 0, en);  // CK pin: write on this bank's pulse
+      nl.rewire_input(c, 0, en);
     }
     // High-fanout enables get a distribution tree so no buffer stage's
     // loaded delay approaches the pulse width (inertial swallowing).
@@ -50,8 +56,6 @@ pn::MarkedGraph timed_control_model(const DesyncResult& r,
                                     const cell::Tech& tech) {
   // Mirror the hardware line sizing: per-destination aggregation, response
   // credit, quantization to whole DELAY cells (minimum one).
-  const Ps unit = tech.delay_unit();
-  const Ps credit = ctl::controller_response_credit(tech);
   std::vector<Ps> worst(r.cg.num_banks(), 0);
   for (const auto& e : r.cg.edges()) {
     worst[static_cast<size_t>(e.to)] =
@@ -63,15 +67,14 @@ pn::MarkedGraph timed_control_model(const DesyncResult& r,
                r.cg.bank(static_cast<int>(i)).even);
   }
   for (const auto& e : r.cg.edges()) {
-    Ps cells = std::max<Ps>(
-        1, (std::max<Ps>(0, worst[static_cast<size_t>(e.to)] - credit) +
-            unit - 1) /
-               unit);
-    q.add_edge(e.from, e.to, cells * unit);
+    q.add_edge(e.from, e.to,
+               ctl::matched_delay_cells(worst[static_cast<size_t>(e.to)],
+                                        tech) *
+                   tech.delay_unit());
   }
   Ps ctrl = tech.delay(cell::Kind::Inv, 1, 1) +
             tech.delay(cell::Kind::CElem, 2, 2);
-  return ctl::protocol_mg(q, ctl::Protocol::Pulse, ctrl, r.ctrl.pulse_width);
+  return ctl::hardware_mg(q, r.protocol, ctrl, r.ctrl.pulse_width);
 }
 
 }  // namespace desyn::flow

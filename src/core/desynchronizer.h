@@ -3,13 +3,13 @@
 //   synchronous FF netlist
 //     -> latch-based conversion            (latchify)
 //     -> bank adjacency + matched delays   (adjacency, STA-sized)
-//     -> handshake controller network      (ctl, Pulse protocol)
+//     -> handshake controller network      (ctl, any protocol)
 //     -> clock pins rewired to local latch enables; the global clock net
 //        is left without load (the clock tree is simply never built).
 //
 // The result is flow-equivalent to the synchronous circuit: the i-th value
 // captured by every (master) latch equals the i-th value captured by the
-// corresponding flip-flop (verified by desyn::verif).
+// corresponding flip-flop (verified by desyn::verif, for every protocol).
 #pragma once
 
 #include "core/adjacency.h"
@@ -23,6 +23,10 @@ struct DesyncOptions {
   /// Safety factor applied to every STA-sized matched delay; plays the role
   /// of the synchronous flow's clock-uncertainty margin.
   double margin = 1.10;
+  /// Handshake protocol the controllers are synthesized for. Pulse is the
+  /// historical default; the Fig. 4 family (Lockstep/Semi/Fully) yields
+  /// level-sensitive enables with progressively more overlap.
+  ctl::Protocol protocol = ctl::Protocol::Pulse;
 };
 
 struct DesyncResult {
@@ -32,15 +36,17 @@ struct DesyncResult {
   ctl::ControllerNetwork ctrl;  ///< enables/round nets in `netlist`
   int env_snk = -1;
   int env_src = -1;
+  ctl::Protocol protocol = ctl::Protocol::Pulse;  ///< protocol synthesized
 
-  /// Enable net of bank `i` (latch pulse).
+  /// Enable net of bank `i` (latch pulse / transparency level).
   nl::NetId enable(int bank) const {
     return ctrl.enables[static_cast<size_t>(bank)];
   }
   nl::NetId env_src_enable() const { return enable(env_src); }
 };
 
-/// Run the flow on a copy of `ff_netlist`. Throws on multi-clock designs.
+/// Run the flow on a copy of `ff_netlist`. Throws MultiClockError on
+/// multi-clock designs.
 DesyncResult desynchronize(const nl::Netlist& ff_netlist, nl::NetId clock,
                            const cell::Tech& tech,
                            const DesyncOptions& opt = {});

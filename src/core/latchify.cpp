@@ -32,22 +32,39 @@ LatchifyResult latchify(nl::Netlist& nl, nl::NetId clock, BankStrategy s) {
     return "all";
   };
 
-  // Collect first: we edit the netlist as we go.
+  // Collect first: we edit the netlist as we go. Reject multi-clock designs
+  // with a typed error naming every offending clock net, so callers (and
+  // users of the CLI) see the full extent of the problem at once.
   std::vector<nl::CellId> ffs;
   std::vector<nl::CellId> rams;
+  std::vector<std::string> other_clocks;
+  auto note_clock = [&](nl::NetId ck) {
+    const std::string& name = nl.net(ck).name;
+    if (std::find(other_clocks.begin(), other_clocks.end(), name) ==
+        other_clocks.end()) {
+      other_clocks.push_back(name);
+    }
+  };
   for (nl::CellId c : nl.cells()) {
     const nl::CellData& cd = nl.cell(c);
     if (cd.kind == cell::Kind::Dff) {
-      DESYN_ASSERT(cd.ins[1] == clock, "FF ", cd.name,
-                   " is clocked by a different net than ",
-                   nl.net(clock).name);
+      if (cd.ins[1] != clock) note_clock(cd.ins[1]);
       ffs.push_back(c);
     } else if (cd.kind == cell::Kind::Ram) {
-      DESYN_ASSERT(cd.ins[0] == clock, "RAM ", cd.name,
-                   " is clocked by a different net than ",
-                   nl.net(clock).name);
+      if (cd.ins[0] != clock) note_clock(cd.ins[0]);
       rams.push_back(c);
     }
+  }
+  if (!other_clocks.empty()) {
+    std::string list;
+    for (size_t i = 0; i < other_clocks.size(); ++i) {
+      list += (i ? ", " : "") + other_clocks[i];
+    }
+    throw MultiClockError(
+        cat("multi-clock design: storage clocked by { ", list,
+            " } besides the designated clock '", nl.net(clock).name,
+            "'; desynchronize one clock domain at a time"),
+        std::move(other_clocks));
   }
 
   for (nl::CellId c : ffs) {

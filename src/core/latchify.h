@@ -40,9 +40,25 @@ struct LatchifyResult {
   std::map<nl::CellId, std::pair<nl::CellId, nl::CellId>> ff_map;
 };
 
-/// In-place conversion of every DFF in `nl` clocked by `clock`. FFs clocked
-/// by other nets are rejected (single-clock designs only, as in the paper).
-/// RAM macros clocked by `clock` are assigned their own bank pairs.
+/// Thrown by latchify()/desynchronize() when storage cells are clocked by
+/// nets other than the designated clock (the flow handles single-clock
+/// designs only, as in the paper). Names the offending clock nets so the
+/// caller can report exactly which domains would need their own flow run.
+class MultiClockError : public Error {
+ public:
+  MultiClockError(const std::string& what, std::vector<std::string> clocks)
+      : Error(what), clocks_(std::move(clocks)) {}
+  /// Distinct non-`clock` nets found driving storage clock pins.
+  const std::vector<std::string>& clocks() const { return clocks_; }
+
+ private:
+  std::vector<std::string> clocks_;
+};
+
+/// In-place conversion of every DFF in `nl` clocked by `clock`. Throws
+/// MultiClockError if any DFF or RAM is clocked by a different net
+/// (single-clock designs only, as in the paper). RAM macros clocked by
+/// `clock` are assigned their own bank pairs.
 LatchifyResult latchify(nl::Netlist& nl, nl::NetId clock, BankStrategy s);
 
 /// Bank-name prefix of a cell name ("ifid.pc_q3" -> "ifid"; no dot -> "core").

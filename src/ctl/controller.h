@@ -1,31 +1,50 @@
-// Gate-level controller synthesis: the Pulse protocol.
+// Gate-level controller synthesis for all four de-synchronization
+// protocols.
 //
-// Each bank gets one Muller C-element carrying a 2-phase *round token*
-// signal R, plus a local pulse generator deriving the latch enable:
+// Pulse (the original shipped hardware): each bank gets one Muller
+// C-element carrying a 2-phase *round token* signal R, plus a local pulse
+// generator deriving the latch enable:
 //
 //   R_a = C( wire(R_n) for every neighbour n )      (inverted for even banks)
 //   L_a = XOR(R_a, buf(buf(R_a)))                   (one pulse per toggle)
 //
 // where wire() is a matched-delay line for predecessors (sized to the worst
 // combinational path, >= 1 DELAY cell) and a buffer for successors. Every
-// neighbour pair alternates strictly (each party's next toggle waits for
-// the other's previous one through the opposite wire), so no control wire
-// ever carries a transition that retracts before its consumer used it: the
-// control layer is delay-insensitive in the classical Muller sense. Only
-// the datapath carries timing assumptions (matched delays + pulse width),
-// exactly the engineering contract of matched-delay de-synchronization.
-// This is the local-clock-generation controller family of Varshavsky et
-// al., the paper's reference [5].
+// neighbour pair alternates strictly; this is the local-clock-generation
+// controller family of Varshavsky et al., the paper's reference [5].
 //
-// Even banks start with R=1 and odd banks with R=0; odd banks fire first,
-// capturing the masters' reset data — the Pulse canonical schedule
-// [O+ O- E+ E-]. All latches start opaque; flow equivalence against the
-// synchronous reference is checked by the verif library.
+// Lockstep / SemiDecoupled / FullyDecoupled (the paper's Fig. 4 family):
+// synthesized by the classical Muller marked-graph construction. Every
+// transition of the protocol MG (a+ / a- per bank, see ctl/protocol.h)
+// becomes one C-element carrying a 2-phase signal that toggles once per
+// firing; every MG arc u -> v becomes an input of v's C-element:
 //
-// The Lockstep/Semi/Fully protocols remain first-class *models*
-// (protocol_mg) for liveness/safety/throughput analysis; see DESIGN.md for
-// why their single-C level-sampled implementations are not robust under
-// unbalanced delays.
+//   * unmarked arc: the source signal s_u directly,
+//   * marked arc (initial token): s_u through an inverter,
+//   * predecessor-side arcs additionally run through one shared
+//     matched-delay line per transition (the paper's per-block matched
+//     delay, sized to the worst incoming edge and credited with the
+//     controller's response time),
+//   * marked predecessor arcs are gated with a one-shot reset *kick*
+//     C-element so the initial token matures through the delay line at
+//     startup instead of appearing pre-settled — the first capture of a
+//     bank therefore waits for its slowest incoming data path, exactly as
+//     the timed MG model assumes for initial tokens.
+//
+// The latch enable is the level  EN_a = XNOR(s_{a+}, s_{a-})  for even
+// banks (transparent at reset, like a master latch at CLK=0) and
+// XOR(s_{a+}, s_{a-}) for odd banks: EN rises on a+ and falls on a-, so a
+// bank is transparent exactly between its + and - events. For a live and
+// safe MG this network is speed-independent at the control level (Muller's
+// theorem); only the datapath carries timing assumptions (matched delays),
+// the engineering contract of matched-delay de-synchronization.
+//
+// Initial states follow each protocol's canonical schedule (see
+// first_fire_index): for the synchronous two-phase order [E- O+ O- E+],
+// even banks start transparent and capture first; for Pulse's order
+// [O+ O- E+ E-] all banks start opaque and odd banks pulse first. Flow
+// equivalence against the synchronous reference is checked by the verif
+// library for every protocol.
 #pragma once
 
 #include "cell/tech.h"
@@ -36,19 +55,21 @@ namespace desyn::ctl {
 
 struct ControllerNetwork {
   std::vector<nl::NetId> enables;       ///< per bank: its latch-enable net
-  std::vector<nl::NetId> rounds;        ///< per bank: its round-token net
+  /// Per bank: the 2-phase token net — the round C-element output for
+  /// Pulse, the a+ transition signal for the level protocols.
+  std::vector<nl::NetId> rounds;
   std::vector<nl::NetId> control_nets;  ///< every net the synthesis created
   std::vector<nl::CellId> cells;        ///< every cell the synthesis created
   size_t delay_units = 0;               ///< total DELAY cells inserted
-  Ps pulse_width = 0;                   ///< nominal latch pulse width
+  Ps pulse_width = 0;  ///< nominal latch pulse width (Pulse) / minimum
+                       ///< transparency width (level protocols)
 };
 
-/// Instantiate Pulse-protocol controllers for `cg` into the netlist behind
+/// Instantiate protocol `p` controllers for `cg` into the netlist behind
 /// `b`. Matched delays are taken from the edges (already margin-adjusted by
-/// the caller), aggregated per destination bank (the paper's per-block
-/// matched delay), credited with the controller's own response time and
-/// quantized to whole DELAY cells (minimum one). Throws for any other
-/// protocol (they are analysis models, not hardware templates).
+/// the caller), aggregated per destination (the paper's per-block matched
+/// delay), credited with the controller's own response time and quantized
+/// to whole DELAY cells (minimum one).
 ControllerNetwork synthesize_controllers(nl::Builder& b,
                                          const ControlGraph& cg, Protocol p,
                                          const cell::Tech& tech);
@@ -57,5 +78,28 @@ ControllerNetwork synthesize_controllers(nl::Builder& b,
 /// subtracted from every matched-delay line; exposed so the analytic model
 /// (flow::timed_control_model) sizes lines identically to the hardware.
 Ps controller_response_credit(const cell::Tech& tech);
+
+/// Number of whole DELAY cells the synthesis spends on a matched delay:
+/// response credit subtracted, rounded up, minimum one. The single sizing
+/// rule shared by the synthesis, the timed models and the benches — keep
+/// every prediction in lockstep with the hardware.
+int matched_delay_cells(Ps matched, const cell::Tech& tech);
+
+/// `cg` with every edge's matched delay replaced by the length of its
+/// synthesized delay line (matched_delay_cells * delay_unit), per edge.
+/// On graphs where each transition has one predecessor edge (the bench
+/// rings) this equals the per-destination aggregation the synthesis
+/// performs, making hardware_mg of the result the analytic twin of the
+/// synthesized network.
+ControlGraph quantize_matched_delays(const ControlGraph& cg,
+                                     const cell::Tech& tech);
+
+/// The timed marked graph of the network synthesize_controllers() builds:
+/// the protocol model plus the fully-decoupled capture-ordering refinement
+/// (see the .cpp). Use this for throughput prediction of the hardware;
+/// use protocol_mg for protocol-level analysis and conformance (the
+/// refinement only restricts behavior, so hardware traces conform to both).
+pn::MarkedGraph hardware_mg(const ControlGraph& cg, Protocol p,
+                            Ps ctrl_delay = 0, Ps pulse_width = 0);
 
 }  // namespace desyn::ctl

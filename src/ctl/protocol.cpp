@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "pn/analysis.h"
+
 namespace desyn::ctl {
 
 const char* protocol_name(Protocol p) {
@@ -12,6 +14,17 @@ const char* protocol_name(Protocol p) {
     case Protocol::Pulse: return "pulse";
   }
   return "?";
+}
+
+Protocol parse_protocol(std::string_view name) {
+  if (name == "lockstep") return Protocol::Lockstep;
+  if (name == "semi" || name == "semi-decoupled") return Protocol::SemiDecoupled;
+  if (name == "fully" || name == "fully-decoupled") {
+    return Protocol::FullyDecoupled;
+  }
+  if (name == "pulse") return Protocol::Pulse;
+  fail("unknown protocol '", name,
+       "' (expected lockstep|semi|fully|pulse)");
 }
 
 int first_fire_index(Protocol p, bool even, bool plus) {
@@ -78,10 +91,70 @@ void ControlGraph::validate() const {
   }
 }
 
-pn::MarkedGraph protocol_mg(const ControlGraph& cg, Protocol p,
-                            Ps ctrl_delay, Ps pulse_width) {
+std::vector<ProtoArc> protocol_arcs(const ControlGraph& cg, Protocol p) {
   cg.validate();
-  pn::MarkedGraph mg(cat("ctl_", protocol_name(p)));
+  std::vector<ProtoArc> arcs;
+  auto idx = [&](int bank, bool plus) {
+    return first_fire_index(p, cg.bank(bank).even, plus);
+  };
+  // Marked iff the target's first firing precedes the source's.
+  auto arc = [&](int ub, bool up, int vb, bool vp, bool pred, Ps matched,
+                 bool alt = false) {
+    arcs.push_back(ProtoArc{ub, up, vb, vp, idx(vb, vp) < idx(ub, up), pred,
+                            alt, pred ? matched : 0});
+  };
+
+  // Alternation (also the "auxiliary arcs" of Fig. 4 for boundary banks).
+  for (size_t i = 0; i < cg.num_banks(); ++i) {
+    int b = static_cast<int>(i);
+    arc(b, true, b, false, false, 0, true);  // a+ -> a-
+    arc(b, false, b, true, false, 0, true);  // a- -> a+
+  }
+
+  for (const ControlGraph::Edge& e : cg.edges()) {
+    const Ps d = e.matched_delay;
+    switch (p) {
+      case Protocol::FullyDecoupled:
+        arc(e.from, true, e.to, false, true, d);    // a+ -> b-
+        arc(e.to, false, e.from, true, false, 0);   // b- -> a+
+        break;
+      case Protocol::SemiDecoupled:
+        arc(e.from, true, e.to, false, true, d);
+        arc(e.to, false, e.from, true, false, 0);
+        arc(e.from, false, e.to, true, true, d);    // a- -> b+
+        arc(e.to, true, e.from, false, false, 0);   // b+ -> a-
+        break;
+      case Protocol::Lockstep:
+        // Semi-decoupled's handshake (which already forbids overlapping
+        // transparency on the edge) plus same-sign rendezvous: each event
+        // of a waits for the previous same-sign event of b and vice versa,
+        // the emulated two-phase clock. Without the semi arcs the
+        // same-sign rendezvous alone would let b open while a is still
+        // transparent — a combinational race through two open latches.
+        arc(e.from, true, e.to, false, true, d);    // a+ -> b-
+        arc(e.to, false, e.from, true, false, 0);   // b- -> a+
+        arc(e.from, false, e.to, true, true, d);    // a- -> b+
+        arc(e.to, true, e.from, false, false, 0);   // b+ -> a-
+        arc(e.from, true, e.to, true, true, d);     // a+ -> b+
+        arc(e.from, false, e.to, false, true, d);   // a- -> b-
+        arc(e.to, true, e.from, true, false, 0);    // b+ -> a+
+        arc(e.to, false, e.from, false, false, 0);  // b- -> a-
+        break;
+      case Protocol::Pulse:
+        // Round-token rendezvous on pulse starts; pulse widths live on the
+        // alternation arcs (annotated by protocol_mg).
+        arc(e.from, true, e.to, true, true, d);     // a+ -> b+
+        arc(e.to, true, e.from, true, false, 0);    // b+ -> a+
+        break;
+    }
+  }
+  return arcs;
+}
+
+pn::MarkedGraph mg_from_arcs(std::string name, const ControlGraph& cg,
+                             std::span<const ProtoArc> arcs, Ps ctrl_delay,
+                             Ps pulse_width) {
+  pn::MarkedGraph mg(std::move(name));
   std::vector<BankTrans> bt;
   for (size_t i = 0; i < cg.num_banks(); ++i) {
     BankTrans t;
@@ -89,57 +162,32 @@ pn::MarkedGraph protocol_mg(const ControlGraph& cg, Protocol p,
     t.minus = mg.add_transition(cg.bank(static_cast<int>(i)).name + "-");
     bt.push_back(t);
   }
-
-  auto idx = [&](int bank, bool plus) {
-    return first_fire_index(p, cg.bank(bank).even, plus);
-  };
-  // Marked iff the target's first firing precedes the source's.
-  auto marked = [&](int ub, bool up, int vb, bool vp) {
-    return idx(vb, vp) < idx(ub, up) ? 1 : 0;
-  };
   auto trans = [&](int bank, bool plus) {
     return plus ? bt[static_cast<size_t>(bank)].plus
                 : bt[static_cast<size_t>(bank)].minus;
   };
-  auto arc = [&](int ub, bool up, int vb, bool vp, Ps delay) {
-    mg.add_arc(trans(ub, up), trans(vb, vp), marked(ub, up, vb, vp), delay);
-  };
-
-  // Alternation (also the "auxiliary arcs" of Fig. 4 for boundary banks).
-  for (size_t i = 0; i < cg.num_banks(); ++i) {
-    int b = static_cast<int>(i);
-    arc(b, true, b, false, pulse_width);  // a+ -> a-
-    arc(b, false, b, true, 0);            // a- -> a+
+  for (const ProtoArc& a : arcs) {
+    Ps delay = a.pred_side ? a.matched_delay + ctrl_delay : ctrl_delay;
+    if (a.alternation) delay = a.from_plus ? pulse_width : 0;
+    mg.add_arc(trans(a.from, a.from_plus), trans(a.to, a.to_plus),
+               a.marked ? 1 : 0, delay);
   }
+  return mg;
+}
 
-  for (const ControlGraph::Edge& e : cg.edges()) {
-    const Ps pred_d = e.matched_delay + ctrl_delay;  // via the delay line
-    const Ps succ_d = ctrl_delay;                    // direct wire back
-    switch (p) {
-      case Protocol::FullyDecoupled:
-        arc(e.from, true, e.to, false, pred_d);   // a+ -> b-
-        arc(e.to, false, e.from, true, succ_d);   // b- -> a+
-        break;
-      case Protocol::SemiDecoupled:
-        arc(e.from, true, e.to, false, pred_d);
-        arc(e.to, false, e.from, true, succ_d);
-        arc(e.from, false, e.to, true, pred_d);   // a- -> b+
-        arc(e.to, true, e.from, false, succ_d);   // b+ -> a-
-        break;
-      case Protocol::Lockstep:
-        arc(e.from, true, e.to, true, pred_d);    // a+ -> b+
-        arc(e.from, false, e.to, false, pred_d);  // a- -> b-
-        arc(e.to, true, e.from, true, succ_d);    // b+ -> a+
-        arc(e.to, false, e.from, false, succ_d);  // b- -> a-
-        break;
-      case Protocol::Pulse:
-        // Round-token rendezvous on pulse starts; pulse widths live on the
-        // alternation arcs (handled below via pulse_width).
-        arc(e.from, true, e.to, true, pred_d);  // a+ -> b+
-        arc(e.to, true, e.from, true, succ_d);  // b+ -> a+
-        break;
-    }
-  }
+pn::MarkedGraph protocol_mg(const ControlGraph& cg, Protocol p,
+                            Ps ctrl_delay, Ps pulse_width) {
+  pn::MarkedGraph mg = mg_from_arcs(cat("ctl_", protocol_name(p)), cg,
+                                    protocol_arcs(cg, p), ctrl_delay,
+                                    pulse_width);
+#ifndef NDEBUG
+  // The header's contract: every protocol MG admits its own canonical
+  // schedule. Enforce it where the markings are derived, so a bad
+  // first_fire_index tweak fails here instead of as a downstream deadlock.
+  DESYN_ASSERT(pn::admits_sequence(mg, canonical_schedule(mg, cg, p, 1)) < 0,
+               "protocol ", protocol_name(p),
+               " marked graph rejects its own canonical schedule");
+#endif
   return mg;
 }
 

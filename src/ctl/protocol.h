@@ -17,7 +17,10 @@
 //     b- -> a+   (a may overwrite only after b captured)
 //   SemiDecoupled: FullyDecoupled plus the mirror arcs
 //     a- -> b+ , b+ -> a-
-//   Lockstep (non-overlapping; the shipped single-C-element hardware):
+//     (the mirrors forbid overlapping transparency on the edge: b opens
+//      only after a closed)
+//   Lockstep (non-overlapping; the emulated two-phase clock): SemiDecoupled
+//   plus the same-sign rendezvous arcs
 //     a+ -> b+ , a- -> b- , b+ -> a+ , b- -> a-
 //
 // Initial markings are derived mechanically from the canonical synchronous
@@ -26,6 +29,7 @@
 // Fig. 4 (e.g. a+ -> b- marked, b- -> a+ unmarked).
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -42,6 +46,18 @@ enum class Protocol {
                    ///< opaque and pulse once per round)
 };
 const char* protocol_name(Protocol p);
+
+/// All four protocols, least to most concurrent then Pulse — the one list
+/// sweeps, benches and parametrized tests iterate so a new protocol cannot
+/// silently drop out of coverage.
+inline constexpr Protocol kAllProtocols[] = {
+    Protocol::Lockstep, Protocol::SemiDecoupled, Protocol::FullyDecoupled,
+    Protocol::Pulse};
+
+/// Parse a protocol name as the CLI accepts it: "lockstep", "semi" /
+/// "semi-decoupled", "fully" / "fully-decoupled", "pulse". Throws Error on
+/// anything else.
+Protocol parse_protocol(std::string_view name);
 
 /// Position of a bank event in the protocol's canonical schedule; used to
 /// derive initial markings (arc u->v is marked iff v fires first) and to
@@ -89,10 +105,43 @@ struct BankTrans {
   pn::TransId minus;
 };
 
+/// One arc of a protocol marked graph, in bank-event terms. Both the MG
+/// builder (protocol_mg) and the gate-level synthesis consume this
+/// enumeration, so the model and the hardware derive structure and initial
+/// markings from a single source of truth.
+struct ProtoArc {
+  int from = 0;              ///< source bank
+  bool from_plus = false;    ///< source event sign
+  int to = 0;                ///< target bank
+  bool to_plus = false;      ///< target event sign
+  bool marked = false;       ///< carries an initial token (target fires first)
+  bool pred_side = false;    ///< producer-to-consumer arc: carries the edge's
+                             ///< matched delay (synthesized as a delay line)
+  bool alternation = false;  ///< the a+ <-> a- arc pair of a single bank
+  Ps matched_delay = 0;      ///< the edge's matched delay (pred_side only)
+};
+
+/// Every arc of the protocol MG for (cg, p), alternation arcs first, then
+/// per-edge arcs in cg.edges() order.
+std::vector<ProtoArc> protocol_arcs(const ControlGraph& cg, Protocol p);
+
+/// Build a timed marked graph from an explicit arc list — the one
+/// arcs-to-MG translation (transition naming, marking, and the delay
+/// annotation rule: pred arcs carry matched + ctrl, succ arcs ctrl, the
+/// a+ -> a- alternation pulse_width) shared by protocol_mg and
+/// ctl::hardware_mg so model and hardware predictions cannot drift apart.
+pn::MarkedGraph mg_from_arcs(std::string name, const ControlGraph& cg,
+                             std::span<const ProtoArc> arcs, Ps ctrl_delay,
+                             Ps pulse_width);
+
 /// Build the (optionally timed) protocol marked graph. `ctrl_delay` is the
 /// controller response time added to every cross-bank arc; matched delays
 /// from the edges are added to predecessor-side arcs. For Pulse,
 /// `pulse_width` annotates the a+ -> a- alternation arcs (the local pulse).
+/// In debug builds (!NDEBUG) the result is checked to admit its own
+/// canonical schedule, so a broken first_fire_index/marking derivation
+/// fails at construction time rather than as a downstream conformance or
+/// deadlock mystery.
 pn::MarkedGraph protocol_mg(const ControlGraph& cg, Protocol p,
                             Ps ctrl_delay = 0, Ps pulse_width = 0);
 

@@ -1,6 +1,7 @@
 #include "netlist/reader.h"
 
 #include <cctype>
+#include <charconv>
 #include <map>
 #include <optional>
 
@@ -64,6 +65,16 @@ class Lexer {
     return t;
   }
 
+  /// 1-based line of the current position (computed lazily: error paths
+  /// only, so the hot path pays nothing for location tracking).
+  int line() const {
+    int l = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++l;
+    }
+    return l;
+  }
+
  private:
   static unsigned char uc(char c) { return static_cast<unsigned char>(c); }
   void skip() {
@@ -81,30 +92,10 @@ class Lexer {
   size_t pos_ = 0;
 };
 
-/// Maps "AND3" -> (Kind::And, arity 3); plain names -> fixed arity kinds.
-std::pair<cell::Kind, int> parse_type(const std::string& t) {
-  static const std::map<std::string, cell::Kind> fixed = [] {
-    std::map<std::string, cell::Kind> m;
-    for (int i = 0; i <= static_cast<int>(cell::Kind::Ram); ++i) {
-      cell::Kind k = static_cast<cell::Kind>(i);
-      m[cell::kind_name(k)] = k;
-    }
-    return m;
-  }();
-  auto it = fixed.find(t);
-  if (it != fixed.end()) return {it->second, 0};
-  // Trailing digits: variable-arity kind.
-  size_t d = t.size();
-  while (d > 0 && std::isdigit(static_cast<unsigned char>(t[d - 1]))) --d;
-  if (d == t.size() || d == 0) fail("verilog: unknown cell type '", t, "'");
-  auto base = fixed.find(t.substr(0, d));
-  if (base == fixed.end()) fail("verilog: unknown cell type '", t, "'");
-  return {base->second, std::stoi(t.substr(d))};
-}
-
 class Parser {
  public:
-  explicit Parser(std::string_view text) : lex_(text) {}
+  Parser(std::string_view text, std::string_view source)
+      : lex_(text), source_(source) {}
 
   Netlist parse() {
     expect_id("module");
@@ -114,20 +105,19 @@ class Parser {
     parse_ports(nl);
     expect_punct(")");
     expect_punct(";");
-    std::vector<NetId> pending_outputs;
     for (const std::string& out : output_names_) {
       NetId n = nl.add_net(out);
-      DESYN_ASSERT(nl.net(n).name == out);
+      if (nl.net(n).name != out) err("duplicate output '", out, "'");
       nl.mark_output(n);
     }
     for (;;) {
       Token t = lex_.next();
       if (t.type == Token::Id && t.text == "endmodule") break;
-      if (t.type == Token::End) fail("verilog: missing endmodule");
+      if (t.type == Token::End) err("missing endmodule");
       if (t.type == Token::Id && t.text == "wire") {
         Token w = expect(Token::Id);
         NetId n = nl.add_net(w.text);
-        DESYN_ASSERT(nl.net(n).name == w.text, "duplicate wire ", w.text);
+        if (nl.net(n).name != w.text) err("duplicate wire '", w.text, "'");
         expect_punct(";");
         continue;
       }
@@ -139,28 +129,88 @@ class Parser {
         parse_instance(nl, t.text);
         continue;
       }
-      fail("verilog: unexpected token '", t.text, "'");
+      err("unexpected token '", t.text, "'");
     }
-    (void)pending_outputs;
     return nl;
   }
 
  private:
+  template <typename... Args>
+  [[noreturn]] void err(const Args&... args) const {
+    fail(source_, ":", lex_.line(), ": ", args...);
+  }
+
+  /// Checked integer parse: the whole token must be a number in
+  /// [`lo`, `hi`]. Reports `what` with file/line on any malformed or
+  /// out-of-range input (the job std::stoi used to abort instead of doing).
+  int64_t parse_int(std::string_view digits, int64_t lo, int64_t hi,
+                    const char* what, int base = 10) const {
+    int64_t v = 0;
+    auto [p, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), v, base);
+    if (ec != std::errc() || p != digits.data() + digits.size()) {
+      err("malformed ", what, " '", digits, "'");
+    }
+    if (v < lo || v > hi) {
+      err(what, " ", v, " out of range [", lo, ", ", hi, "]");
+    }
+    return v;
+  }
+
+  uint64_t parse_u64(std::string_view digits, const char* what,
+                     int base) const {
+    uint64_t v = 0;
+    auto [p, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), v, base);
+    if (ec != std::errc() || p != digits.data() + digits.size() ||
+        digits.empty()) {
+      err("malformed ", what, " '", digits, "'");
+    }
+    return v;
+  }
+
+  /// Maps "AND3" -> (Kind::And, arity 3); plain names -> fixed arity kinds.
+  std::pair<cell::Kind, int> parse_type(const std::string& t) const {
+    static const std::map<std::string, cell::Kind> fixed = [] {
+      std::map<std::string, cell::Kind> m;
+      for (int i = 0; i <= static_cast<int>(cell::Kind::Ram); ++i) {
+        cell::Kind k = static_cast<cell::Kind>(i);
+        m[cell::kind_name(k)] = k;
+      }
+      return m;
+    }();
+    auto it = fixed.find(t);
+    if (it != fixed.end()) return {it->second, 0};
+    // Trailing digits: variable-arity kind. The suffix is untrusted input —
+    // a checked parse bounded by the library's arity limits, not stoi.
+    size_t d = t.size();
+    while (d > 0 && std::isdigit(static_cast<unsigned char>(t[d - 1]))) --d;
+    if (d == t.size() || d == 0) err("unknown cell type '", t, "'");
+    auto base = fixed.find(t.substr(0, d));
+    if (base == fixed.end()) err("unknown cell type '", t, "'");
+    if (!cell::is_variable_arity(base->second)) {
+      err("cell type '", base->first, "' takes no arity suffix: '", t, "'");
+    }
+    int arity = static_cast<int>(
+        parse_int(t.substr(d), 2, cell::kMaxArity, "cell arity"));
+    return {base->second, arity};
+  }
+
   Token expect(Token::Type type) {
     Token t = lex_.next();
-    if (t.type != type) fail("verilog: unexpected token '", t.text, "'");
+    if (t.type != type) err("unexpected token '", t.text, "'");
     return t;
   }
   void expect_id(const std::string& s) {
     Token t = lex_.next();
     if (t.type != Token::Id || t.text != s) {
-      fail("verilog: expected '", s, "', got '", t.text, "'");
+      err("expected '", s, "', got '", t.text, "'");
     }
   }
   void expect_punct(const std::string& s) {
     Token t = lex_.next();
     if (t.type != Token::Punct || t.text != s) {
-      fail("verilog: expected '", s, "', got '", t.text, "'");
+      err("expected '", s, "', got '", t.text, "'");
     }
   }
 
@@ -175,7 +225,7 @@ class Parser {
       } else if (dir.text == "output") {
         output_names_.push_back(pname.text);
       } else {
-        fail("verilog: bad port direction '", dir.text, "'");
+        err("bad port direction '", dir.text, "'");
       }
       Token sep = lex_.peek();
       if (sep.type == Token::Punct && sep.text == ",") lex_.next();
@@ -189,26 +239,44 @@ class Parser {
       Token key = lex_.next();
       if (key.type == Token::Punct && key.text == "*)") return;
       if (key.type == Token::Punct && key.text == ",") continue;
-      if (key.type != Token::Id) fail("verilog: bad attribute");
+      if (key.type != Token::Id) err("bad attribute");
       expect_punct("=");
       Token val = lex_.next();
       if (key.text == "payload") {
-        if (val.type != Token::Str) fail("verilog: payload must be a string");
+        if (val.type != Token::Str) err("payload must be a string");
         payload_ = std::vector<uint64_t>();
         std::string cur;
         for (char c : val.text + ",") {
           if (c == ',') {
-            if (!cur.empty()) payload_->push_back(std::stoull(cur, nullptr, 16));
+            if (!cur.empty()) {
+              payload_->push_back(parse_u64(cur, "payload word", 16));
+            }
             cur.clear();
           } else {
             cur += c;
           }
         }
       } else {
-        if (val.type != Token::Id) fail("verilog: bad attribute value");
-        attrs_[key.text] = std::stoll(val.text);
+        if (val.type != Token::Id) err("bad attribute value");
+        std::string_view digits = val.text;
+        attrs_[key.text] =
+            parse_int(digits, std::numeric_limits<int64_t>::min(),
+                      std::numeric_limits<int64_t>::max(), "attribute value");
       }
     }
+  }
+
+  /// Attribute with a checked range (uncheckable garbage would otherwise
+  /// flow into uint16 truncations and enum casts downstream).
+  int64_t attr_in_range(const char* key, int64_t lo, int64_t hi,
+                        int64_t dflt) {
+    auto it = attrs_.find(key);
+    if (it == attrs_.end()) return dflt;
+    if (it->second < lo || it->second > hi) {
+      err("attribute ", key, " = ", it->second, " out of range [", lo, ", ",
+          hi, "]");
+    }
+    return it->second;
   }
 
   void parse_instance(Netlist& nl, const std::string& type) {
@@ -216,8 +284,8 @@ class Parser {
     Token iname = expect(Token::Id);
     expect_punct("(");
 
-    uint16_t p0 = static_cast<uint16_t>(attrs_.count("p0") ? attrs_["p0"] : 0);
-    uint16_t p1 = static_cast<uint16_t>(attrs_.count("p1") ? attrs_["p1"] : 0);
+    uint16_t p0 = static_cast<uint16_t>(attr_in_range("p0", 0, 24, 0));
+    uint16_t p1 = static_cast<uint16_t>(attr_in_range("p1", 0, 64, 0));
     int nin = cell::num_inputs(kind, arity, p0, p1);
     int nout = cell::num_outputs(kind, p0, p1);
 
@@ -232,45 +300,56 @@ class Parser {
       Token t = lex_.next();
       if (t.type == Token::Punct && t.text == ")") break;
       if (t.type == Token::Punct && (t.text == "," || t.text == ".")) continue;
-      if (t.type != Token::Id) fail("verilog: bad connection in ", iname.text);
+      if (t.type != Token::Id) err("bad connection in ", iname.text);
       std::string pin = t.text;
       expect_punct("(");
       Token netname = expect(Token::Id);
       expect_punct(")");
       NetId n = nl.find_net(netname.text);
-      if (!n.valid()) fail("verilog: unknown net '", netname.text, "'");
+      if (!n.valid()) err("unknown net '", netname.text, "'");
       if (auto it = in_idx.find(pin); it != in_idx.end()) {
         ins[static_cast<size_t>(it->second)] = n;
       } else if (auto ot = out_idx.find(pin); ot != out_idx.end()) {
         outs[static_cast<size_t>(ot->second)] = n;
       } else {
-        fail("verilog: unknown pin '", pin, "' on ", type);
+        err("unknown pin '", pin, "' on ", type);
       }
     }
     expect_punct(";");
     for (NetId n : ins) {
-      if (!n.valid()) fail("verilog: unconnected input on ", iname.text);
+      if (!n.valid()) err("unconnected input on ", iname.text);
     }
     for (NetId n : outs) {
-      if (!n.valid()) fail("verilog: unconnected output on ", iname.text);
+      if (!n.valid()) err("unconnected output on ", iname.text);
     }
 
-    cell::V init = cell::V::V0;
-    if (auto it = attrs_.find("init"); it != attrs_.end()) {
-      init = static_cast<cell::V>(it->second);
-    }
+    cell::V init =
+        static_cast<cell::V>(attr_in_range("init", 0, 2, 0));
     int32_t pl = -1;
-    if (payload_) pl = nl.add_payload(std::move(*payload_));
+    if (payload_) {
+      if (kind != cell::Kind::Rom && kind != cell::Kind::Ram) {
+        err("payload on non-memory cell ", iname.text);
+      }
+      if (payload_->size() != (size_t{1} << p0)) {
+        err("payload of ", iname.text, " has ", payload_->size(),
+            " words, expected 2^p0 = ", (size_t{1} << p0));
+      }
+      pl = nl.add_payload(std::move(*payload_));
+    } else if (kind == cell::Kind::Rom || kind == cell::Kind::Ram) {
+      err("memory cell ", iname.text, " has no payload attribute");
+    }
     CellId c = nl.add_cell(kind, iname.text, std::move(ins), std::move(outs),
                            init, pl, p0, p1);
     if (auto it = attrs_.find("group"); it != attrs_.end()) {
-      nl.set_group(c, static_cast<int32_t>(it->second));
+      nl.set_group(c, static_cast<int32_t>(attr_in_range(
+                          "group", -1, std::numeric_limits<int32_t>::max(), -1)));
     }
     attrs_.clear();
     payload_.reset();
   }
 
   Lexer lex_;
+  std::string source_;
   std::vector<std::string> output_names_;
   std::map<std::string, int64_t> attrs_;
   std::optional<std::vector<uint64_t>> payload_;
@@ -278,6 +357,8 @@ class Parser {
 
 }  // namespace
 
-Netlist read_verilog(std::string_view text) { return Parser(text).parse(); }
+Netlist read_verilog(std::string_view text, std::string_view source) {
+  return Parser(text, source).parse();
+}
 
 }  // namespace desyn::nl

@@ -8,7 +8,12 @@
 namespace desyn::nl {
 
 /// Parse a netlist previously written with write_verilog(). Throws
-/// desyn::Error on any syntax or semantic problem.
-Netlist read_verilog(std::string_view text);
+/// desyn::Error on any syntax or semantic problem; messages are prefixed
+/// "<source>:<line>:" so CLI users see where a corrupt file went wrong.
+/// All numeric fields (cell-type arity suffixes, attribute values, payload
+/// words) go through checked parses — a malformed or out-of-range number is
+/// a reported error, never an uncaught std::invalid_argument/out_of_range.
+Netlist read_verilog(std::string_view text,
+                     std::string_view source = "verilog");
 
 }  // namespace desyn::nl

@@ -7,26 +7,13 @@ namespace desyn::nl {
 
 namespace {
 
-bool variable_arity(cell::Kind k) {
-  switch (k) {
-    case cell::Kind::And:
-    case cell::Kind::Nand:
-    case cell::Kind::Or:
-    case cell::Kind::Nor:
-    case cell::Kind::CElem:
-      return true;
-    default:
-      return false;
-  }
-}
-
 std::string esc(const std::string& name) { return cat("\\", name, " "); }
 
 }  // namespace
 
 std::string verilog_type(const CellData& cd) {
   std::string t = cell::kind_name(cd.kind);
-  if (variable_arity(cd.kind)) t += cat(cd.ins.size());
+  if (cell::is_variable_arity(cd.kind)) t += cat(cd.ins.size());
   return t;
 }
 

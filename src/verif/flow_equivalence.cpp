@@ -3,6 +3,7 @@
 #include <map>
 
 #include "core/clocktree.h"
+#include "pn/mcr.h"
 #include "sim/power.h"
 #include "sim/sim.h"
 #include "sta/sta.h"
@@ -94,6 +95,8 @@ FlowEqResult check_flow_equivalence(const nl::Netlist& ff_netlist,
   {
     flow::DesyncResult dr =
         flow::desynchronize(ff_netlist, clock, tech, opt.desync);
+    res.predicted_period =
+        pn::max_cycle_ratio(flow::timed_control_model(dr, tech)).ratio;
     sim::Simulator sim(dr.netlist, tech);
 
     std::vector<Ps> round_times;  // capture times of the first master bank
@@ -131,13 +134,21 @@ FlowEqResult check_flow_equivalence(const nl::Netlist& ff_netlist,
     }
     min_needed = master_banks * static_cast<uint64_t>(rounds + 1);
 
-    // Vectors change on the env pulse's falling edge: the environment
-    // "captures" its next output exactly when latch banks do, so consumer
-    // captures (which trail the round toggle by the same pulse width) never
-    // race the next vector.
-    int dround = 0;
+    // The environment publishes vectors where the matched-delay model puts
+    // the env bank's data launch. Under Pulse ([O+ O- E+ E-]) that is the
+    // pulse itself: vectors change on the enable's falling edge, and the
+    // environment's first close precedes the masters' first capture, which
+    // must see vector 0. Under the synchronous order ([E- O+ O- E+]) the
+    // masters capture first — vector 0 is applied at reset (as the sync
+    // testbench does) and the environment's k-th *opening* publishes
+    // vector k+1: the opening is the a+ launch event the a+ -> b- matched
+    // delays are sized from, and the b- -> a+ arcs guarantee every
+    // consumer captured vector k before it.
+    const bool pulse_env = dr.protocol == ctl::Protocol::Pulse;
+    apply_vector(sim, dr.netlist, clock, stim, 0);
+    int dround = pulse_env ? 0 : 1;
     sim.watch(dr.env_src_enable(), [&](Ps, V v) {
-      if (v == V::V0) {
+      if (v == (pulse_env ? V::V0 : V::V1)) {
         apply_vector(sim, dr.netlist, clock, stim, dround);
         ++dround;
       }

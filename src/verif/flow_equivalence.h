@@ -38,6 +38,10 @@ struct FlowEqResult {
   size_t captures_compared = 0;
   Ps sync_period = 0;            ///< clock period used
   double desync_period = 0;      ///< measured average round period
+  /// Analytic cycle-time prediction: max cycle ratio of the timed control
+  /// model of the desynchronized circuit this check built (saves callers
+  /// re-running the whole flow just to predict).
+  double predicted_period = 0;
   uint64_t sync_setup_violations = 0;
   uint64_t desync_setup_violations = 0;
   double sync_power_mw = 0;      ///< total dynamic power (measured window)

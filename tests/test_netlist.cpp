@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "circuits/circuits.h"
 #include "netlist/builder.h"
 #include "netlist/query.h"
 #include "netlist/reader.h"
@@ -258,6 +259,102 @@ TEST(Reader, RejectsMalformed) {
   EXPECT_THROW(
       read_verilog("module \\m ( input \\a );\n INV \\u ( .A(\\zzz ), .Y(\\a ) );\nendmodule"),
       Error);  // unknown net zzz
+}
+
+/// A tiny valid module with one instance line substituted in.
+std::string one_cell_module(const std::string& inst) {
+  return cat("module \\m (\n  input \\a ,\n  output \\y \n);\n", inst,
+             "\nendmodule\n");
+}
+
+TEST(Reader, CorruptNumbersAreReportedNotFatal) {
+  // Every case must throw desyn::Error — never an uncaught
+  // std::invalid_argument / std::out_of_range or an abort.
+  const char* cases[] = {
+      // Arity suffix overflowing int (the old std::stoi call site).
+      "AND99999999999999999999 \\u ( .A0(\\a ), .A1(\\a ), .Y(\\y ) );",
+      // Arity outside the library's [2, 8].
+      "AND1 \\u ( .A0(\\a ), .Y(\\y ) );",
+      "AND9 \\u ( .A0(\\a ), .Y(\\y ) );",
+      // Arity suffix on a fixed-arity kind.
+      "INV3 \\u ( .A(\\a ), .Y(\\y ) );",
+      // Attribute value garbage / overflow.
+      "(* init = 99999999999999999999999999 *) LATCH \\u ( .D(\\a ), .EN(\\a ), .Q(\\y ) );",
+      "(* init = 7 *) LATCH \\u ( .D(\\a ), .EN(\\a ), .Q(\\y ) );",
+      "(* p0 = 999999 *) ROM \\u ( .A0(\\a ), .D0(\\y ) );",
+      // Payload: non-hex word, and word count not matching 2^p0.
+      "(* p0 = 1, p1 = 1, payload = \"zz,1\" *) ROM \\u ( .A0(\\a ), .D0(\\y ) );",
+      "(* p0 = 2, p1 = 1, payload = \"1,2\" *) ROM \\u ( .A0(\\a ), .A1(\\a ), .D0(\\y ) );",
+      // Memory without contents (would index payload(-1) downstream).
+      "(* p0 = 1, p1 = 1 *) ROM \\u ( .A0(\\a ), .D0(\\y ) );",
+  };
+  for (const char* inst : cases) {
+    EXPECT_THROW(read_verilog(one_cell_module(inst)), Error) << inst;
+  }
+}
+
+TEST(Reader, ErrorsNameSourceAndLine) {
+  try {
+    read_verilog(one_cell_module("INV3 \\u ( .A(\\a ), .Y(\\y ) );"),
+                 "broken.v");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    // The instance sits on line 5 of the synthesized module text.
+    EXPECT_NE(std::string(e.what()).find("broken.v:5"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Writer, RoundTripPropertyOverCircuitSuite) {
+  // The sweep CLI reads and writes whole netlists; every circuit of the
+  // suite must survive a write -> read cycle with ids, cell kinds and pin
+  // order preserved (and the second write byte-identical).
+  for (const circuits::Suite& s : circuits::scaling_suite()) {
+    const Netlist& nl = s.circuit.netlist;
+    std::string v1 = to_verilog(nl);
+    Netlist back = read_verilog(v1, s.name + ".v");
+    back.check();
+    EXPECT_EQ(to_verilog(back), v1) << s.name;
+
+    ASSERT_EQ(back.inputs().size(), nl.inputs().size()) << s.name;
+    for (size_t i = 0; i < nl.inputs().size(); ++i) {
+      EXPECT_EQ(back.net(back.inputs()[i]).name, nl.net(nl.inputs()[i]).name);
+    }
+    ASSERT_EQ(back.outputs().size(), nl.outputs().size()) << s.name;
+    for (size_t i = 0; i < nl.outputs().size(); ++i) {
+      EXPECT_EQ(back.net(back.outputs()[i]).name,
+                nl.net(nl.outputs()[i]).name);
+    }
+
+    std::vector<CellId> orig, rt;
+    for (CellId c : nl.cells()) orig.push_back(c);
+    for (CellId c : back.cells()) rt.push_back(c);
+    ASSERT_EQ(rt.size(), orig.size()) << s.name;
+    for (size_t i = 0; i < orig.size(); ++i) {
+      const CellData& a = nl.cell(orig[i]);
+      const CellData& b = back.cell(rt[i]);
+      ASSERT_EQ(b.kind, a.kind) << s.name << " cell " << a.name;
+      EXPECT_EQ(b.name, a.name) << s.name;
+      EXPECT_EQ(b.init, a.init) << s.name << " cell " << a.name;
+      EXPECT_EQ(b.p0, a.p0);
+      EXPECT_EQ(b.p1, a.p1);
+      EXPECT_EQ(b.group, a.group) << s.name << " cell " << a.name;
+      ASSERT_EQ(b.ins.size(), a.ins.size()) << s.name << " cell " << a.name;
+      for (size_t k = 0; k < a.ins.size(); ++k) {
+        EXPECT_EQ(back.net(b.ins[k]).name, nl.net(a.ins[k]).name)
+            << s.name << " cell " << a.name << " pin " << k;
+      }
+      ASSERT_EQ(b.outs.size(), a.outs.size());
+      for (size_t k = 0; k < a.outs.size(); ++k) {
+        EXPECT_EQ(back.net(b.outs[k]).name, nl.net(a.outs[k]).name)
+            << s.name << " cell " << a.name << " out " << k;
+      }
+      if (a.payload >= 0) {
+        ASSERT_GE(b.payload, 0) << s.name << " cell " << a.name;
+        EXPECT_EQ(back.payload(b.payload), nl.payload(a.payload));
+      }
+    }
+  }
 }
 
 TEST(Netlist, PayloadStorage) {
