@@ -15,17 +15,29 @@
 // circuit suite:
 //
 //   desyn_cli sweep [--margins 1.0,1.1,1.3] [--protocol <p>|all]
-//                   [--rounds N] [--full-suite]
+//                   [--rounds N] [--full-suite] [--jobs N]
+//                   [--json <path>] [--stable]
 //
 // For every combination the tool desynchronizes the circuit, predicts the
 // cycle time analytically (max cycle ratio of the timed control model) and
 // measures it by gate-level simulation inside the flow-equivalence
 // checker, which simultaneously proves the transformation correct. Exits
 // nonzero if any combination fails flow equivalence.
+//
+// Each circuit x protocol x margin cell is an independent task; --jobs N
+// runs them on N worker threads. Results are reported in the same
+// deterministic order regardless of job count, so `--jobs 4` output is
+// byte-identical to a serial run. --json writes a structured report
+// (schema documented in docs/PERF.md); --stable omits the wall-clock
+// fields from it so two runs of the same sweep diff cleanly.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "circuits/circuits.h"
@@ -81,12 +93,94 @@ std::vector<double> parse_margins(const std::string& list) {
   return out;
 }
 
+/// One circuit x protocol x margin cell of the sweep. Cells are
+/// independent tasks; the vector order is the deterministic report order.
+struct SweepCell {
+  size_t suite_idx;
+  ctl::Protocol protocol;
+  double margin;
+  Ps sync_period = 0;
+  verif::FlowEqResult res;
+  double wall_ms = 0;
+  bool ok = false;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Structured sweep report (schema "desyn-sweep-v1", see docs/PERF.md).
+/// With `stable` the wall-clock fields are omitted so two runs of the same
+/// sweep — any job count — are byte-identical.
+void write_sweep_json(const std::string& path,
+                      const std::vector<circuits::Suite>& suite,
+                      const std::vector<SweepCell>& cells, int rounds,
+                      int failures, bool stable, double total_ms) {
+  std::ofstream out(path);
+  if (!out) fail("cannot write ", path);
+  char buf[256];
+  out << "{\n  \"schema\": \"desyn-sweep-v1\",\n";
+  out << "  \"rounds\": " << rounds << ",\n";
+  out << "  \"cells\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const SweepCell& c = cells[i];
+    const verif::FlowEqResult& r = c.res;
+    out << "    {\"circuit\": \"" << json_escape(suite[c.suite_idx].name)
+        << "\", \"protocol\": \"" << ctl::protocol_name(c.protocol) << "\",";
+    std::snprintf(buf, sizeof buf, " \"margin\": %.4f,", c.margin);
+    out << buf << "\n     \"sync_cells\": " << r.sync_cells
+        << ", \"desync_cells\": " << r.desync_cells
+        << ", \"registers\": " << r.registers_compared
+        << ", \"captures\": " << r.captures_compared << ",\n";
+    std::snprintf(buf, sizeof buf,
+                  "     \"sync_period_ps\": %lld, \"predicted_period_ps\": "
+                  "%.6f, \"measured_period_ps\": %.6f,\n",
+                  static_cast<long long>(c.sync_period), r.predicted_period,
+                  r.desync_period);
+    out << buf;
+    out << "     \"sync_setup_violations\": " << r.sync_setup_violations
+        << ", \"desync_setup_violations\": " << r.desync_setup_violations
+        << ", \"equivalent\": " << (r.equivalent ? "true" : "false")
+        << ", \"ok\": " << (c.ok ? "true" : "false");
+    if (!r.mismatch.empty()) {
+      out << ",\n     \"mismatch\": \"" << json_escape(r.mismatch) << "\"";
+    }
+    if (!stable) {
+      std::snprintf(buf, sizeof buf, ",\n     \"wall_ms\": %.3f", c.wall_ms);
+      out << buf;
+    }
+    out << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"failures\": " << failures;
+  if (!stable) {
+    std::snprintf(buf, sizeof buf, ",\n  \"total_wall_ms\": %.3f", total_ms);
+    out << buf;
+  }
+  out << "\n}\n";
+}
+
 int run_sweep(int argc, char** argv) {
   std::vector<double> margins = {1.0, 1.1, 1.3};
   std::vector<ctl::Protocol> protocols(std::begin(ctl::kAllProtocols),
                                        std::end(ctl::kAllProtocols));
   int rounds = 25;
+  int jobs = 1;
   bool full_suite = false;
+  bool stable = false;
+  std::string json_path;
   for (int i = 2; i < argc; ++i) {
     std::string a = argv[i];
     auto need_value = [&](const char* flag) -> std::string {
@@ -100,6 +194,12 @@ int run_sweep(int argc, char** argv) {
       if (v != "all") protocols = {ctl::parse_protocol(v)};
     } else if (a == "--rounds") {
       rounds = parse_count(need_value("--rounds"), "--rounds value");
+    } else if (a == "--jobs") {
+      jobs = parse_count(need_value("--jobs"), "--jobs value");
+    } else if (a == "--json") {
+      json_path = need_value("--json");
+    } else if (a == "--stable") {
+      stable = true;
     } else if (a == "--full-suite") {
       full_suite = true;
     } else {
@@ -112,44 +212,87 @@ int run_sweep(int argc, char** argv) {
   std::vector<circuits::Suite> suite;
   for (circuits::Suite& s : circuits::scaling_suite()) {
     if (full_suite || s.name == "pipe4x8" || s.name == "lfsr16" ||
-        s.name == "counters4x8" || s.name == "crc32" || s.name == "fir8x12") {
+        s.name == "counters4x8" || s.name == "crc32" || s.name == "fir8x12" ||
+        s.name == "mesh6x6x2") {
       suite.push_back(std::move(s));
     }
   }
 
   const cell::Tech& tech = cell::Tech::generic90();
-  printf("%-12s %-15s %-7s %9s %10s %10s %8s %5s\n", "circuit", "protocol",
-         "margin", "sync(ps)", "pred(ps)", "meas(ps)", "meas/pred", "eq");
-  int failures = 0;
+
+  // Deterministic task list; the STA minimum period per circuit is shared
+  // by all of its cells, so compute it up front.
+  std::vector<Ps> sync_periods;
   for (const circuits::Suite& s : suite) {
     sta::Sta sta(s.circuit.netlist, tech);
-    Ps sync_period = sta.min_clock_period().min_period;
+    sync_periods.push_back(sta.min_clock_period().min_period);
+  }
+  std::vector<SweepCell> cells;
+  for (size_t si = 0; si < suite.size(); ++si) {
     for (ctl::Protocol p : protocols) {
       for (double m : margins) {
-        verif::FlowEqOptions opt;
-        opt.rounds = rounds;
-        opt.desync.margin = m;
-        opt.desync.protocol = p;
-        auto res = verif::check_flow_equivalence(
-            s.circuit.netlist, s.circuit.clock, verif::random_stimulus(17),
-            tech, opt);
-        bool ok = res.equivalent && res.desync_setup_violations == 0;
-        if (!ok) ++failures;
-        printf("%-12s %-15s %-7.2f %9lld %10.0f %10.0f %8.2f %5s\n",
-               s.name.c_str(), ctl::protocol_name(p), m,
-               static_cast<long long>(sync_period), res.predicted_period,
-               res.desync_period,
-               res.predicted_period > 0
-                   ? res.desync_period / res.predicted_period
-                   : 0.0,
-               ok ? "yes" : "NO");
-        if (!ok && !res.mismatch.empty()) {
-          printf("    ^ %s\n", res.mismatch.c_str());
-        }
+        cells.push_back({si, p, m, sync_periods[si], {}, 0.0, false});
       }
     }
   }
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      size_t i = next.fetch_add(1);
+      if (i >= cells.size()) return;
+      SweepCell& c = cells[i];
+      const circuits::Suite& s = suite[c.suite_idx];
+      auto start = std::chrono::steady_clock::now();
+      verif::FlowEqOptions opt;
+      opt.rounds = rounds;
+      opt.desync.margin = c.margin;
+      opt.desync.protocol = c.protocol;
+      try {
+        c.res = verif::check_flow_equivalence(
+            s.circuit.netlist, s.circuit.clock, verif::random_stimulus(17),
+            tech, opt);
+      } catch (const std::exception& e) {
+        c.res.mismatch = e.what();  // recorded per cell, sweep continues
+      }
+      c.ok = c.res.equivalent && c.res.desync_setup_violations == 0;
+      c.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    }
+  };
+  std::vector<std::thread> pool;
+  jobs = std::min(jobs, static_cast<int>(cells.size()));
+  for (int j = 1; j < jobs; ++j) pool.emplace_back(worker);
+  worker();
+  for (std::thread& th : pool) th.join();
+  double total_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+
+  printf("%-12s %-15s %-7s %9s %10s %10s %8s %5s\n", "circuit", "protocol",
+         "margin", "sync(ps)", "pred(ps)", "meas(ps)", "meas/pred", "eq");
+  int failures = 0;
+  for (const SweepCell& c : cells) {
+    if (!c.ok) ++failures;
+    printf("%-12s %-15s %-7.2f %9lld %10.0f %10.0f %8.2f %5s\n",
+           suite[c.suite_idx].name.c_str(), ctl::protocol_name(c.protocol),
+           c.margin, static_cast<long long>(c.sync_period),
+           c.res.predicted_period, c.res.desync_period,
+           c.res.predicted_period > 0
+               ? c.res.desync_period / c.res.predicted_period
+               : 0.0,
+           c.ok ? "yes" : "NO");
+    if (!c.ok && !c.res.mismatch.empty()) {
+      printf("    ^ %s\n", c.res.mismatch.c_str());
+    }
+  }
   printf("\n%d combination(s) failed\n", failures);
+  if (!json_path.empty()) {
+    write_sweep_json(json_path, suite, cells, rounds, failures, stable,
+                     total_ms);
+  }
   return failures == 0 ? 0 : 1;
 }
 
@@ -171,7 +314,8 @@ int run_single(int argc, char** argv) {
                  "usage: desyn_cli <input.v> <clock-net> <output.v> [margin] "
                  "[prefix|perff|single] [--protocol lockstep|semi|fully|pulse]\n"
                  "       desyn_cli sweep [--margins 1.0,1.1,1.3] "
-                 "[--protocol <p>|all] [--rounds N] [--full-suite]\n");
+                 "[--protocol <p>|all] [--rounds N] [--full-suite]\n"
+                 "                 [--jobs N] [--json <path>] [--stable]\n");
     return 2;
   }
   std::ifstream in(pos[0]);

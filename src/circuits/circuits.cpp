@@ -119,6 +119,109 @@ Circuit crc32() {
   return c;
 }
 
+namespace {
+
+/// Left-rotate a bus by one position (bit i reads old bit i+1).
+Bus rotate1(const Bus& x) {
+  Bus rot;
+  const size_t n = x.size();
+  for (size_t i = 0; i < n; ++i) rot.push_back(x[(i + 1) % n]);
+  return rot;
+}
+
+/// Drive each pre-created net of `dst` from the corresponding net of `src`
+/// (the indirection that lets feedback edges be wired after their target).
+void drive(nl::Netlist& nl, const Bus& src, const Bus& dst) {
+  DESYN_ASSERT(src.size() == dst.size());
+  for (size_t i = 0; i < src.size(); ++i) {
+    nl.add_cell(cell::Kind::Buf, "", {src[i]}, {dst[i]});
+  }
+}
+
+}  // namespace
+
+Circuit random_pipeline(uint64_t seed, int stages, int width) {
+  DESYN_ASSERT(stages >= 2 && width >= 2);
+  Circuit c{nl::Netlist(cat("rpipe", stages, "x", width, "_s", seed)),
+            nl::NetId()};
+  Builder b(c.netlist);
+  Word w(b);
+  Rng rng(seed);
+  c.clock = b.input("clk");
+  Bus din = w.input("din", width);
+  // Pre-created stage-input nets let skip and feedback taps be wired after
+  // every register exists; taps read register outputs only, so the
+  // combinational logic stays acyclic no matter which edges are drawn.
+  std::vector<Bus> sin(static_cast<size_t>(stages));
+  std::vector<Bus> q(static_cast<size_t>(stages));
+  for (int s = 0; s < stages; ++s) {
+    for (int i = 0; i < width; ++i) {
+      sin[static_cast<size_t>(s)].push_back(
+          c.netlist.add_net(cat("s", s, "in", i)));
+    }
+    q[static_cast<size_t>(s)] = w.reg(sin[static_cast<size_t>(s)], c.clock,
+                                      rng.next(), cat("st", s, ".d"));
+  }
+  for (int s = 0; s < stages; ++s) {
+    Bus x = s == 0 ? din : q[static_cast<size_t>(s - 1)];
+    x = w.xor_(x, w.not_(rotate1(x)));
+    if (s >= 2 && rng.flip(0.5)) {  // skip edge from a strictly earlier stage
+      x = w.xor_(x, q[static_cast<size_t>(rng.below(
+                        static_cast<uint64_t>(s - 1)))]);
+    }
+    if (rng.flip(0.35)) {  // feedback edge from this or a later stage
+      x = w.xor_(x, q[static_cast<size_t>(s) +
+                      static_cast<size_t>(rng.below(
+                          static_cast<uint64_t>(stages - s)))]);
+    }
+    drive(c.netlist, x, sin[static_cast<size_t>(s)]);
+  }
+  w.output(q[static_cast<size_t>(stages - 1)]);
+  return c;
+}
+
+Circuit register_mesh(int rows, int cols, int width) {
+  DESYN_ASSERT(rows >= 2 && cols >= 2 && width >= 1);
+  Circuit c{nl::Netlist(cat("mesh", rows, "x", cols, "x", width)),
+            nl::NetId()};
+  Builder b(c.netlist);
+  Word w(b);
+  c.clock = b.input("clk");
+  NetId din = b.input("din");
+  Rng rng(static_cast<uint64_t>(rows) * 7919 +
+          static_cast<uint64_t>(cols) * 131 + static_cast<uint64_t>(width));
+  auto at = [cols](int r, int cc) {
+    return static_cast<size_t>(r) * static_cast<size_t>(cols) +
+           static_cast<size_t>(cc);
+  };
+  std::vector<Bus> next(static_cast<size_t>(rows) *
+                        static_cast<size_t>(cols));
+  std::vector<Bus> q(next.size());
+  for (int r = 0; r < rows; ++r) {
+    for (int cc = 0; cc < cols; ++cc) {
+      for (int i = 0; i < width; ++i) {
+        next[at(r, cc)].push_back(c.netlist.add_net(cat("n", r, "x", cc, "b", i)));
+      }
+      q[at(r, cc)] = w.reg(next[at(r, cc)], c.clock, rng.next(),
+                           cat("m", r, "x", cc, ".q"));
+    }
+  }
+  for (int r = 0; r < rows; ++r) {
+    for (int cc = 0; cc < cols; ++cc) {
+      const Bus& west = q[at(r, (cc + cols - 1) % cols)];
+      const Bus& north = q[at((r + rows - 1) % rows, cc)];
+      Bus x = w.xor_(q[at(r, cc)], rotate1(west));
+      x = w.xor_(x, north);
+      if (r == 0 && cc == 0) {
+        x = w.xor_(x, w.zero_extend({din}, width));
+      }
+      drive(c.netlist, x, next[at(r, cc)]);
+    }
+  }
+  w.output(q[at(rows - 1, cols - 1)]);
+  return c;
+}
+
 std::vector<Suite> scaling_suite() {
   std::vector<Suite> s;
   s.push_back({"pipe4x8", pipeline(4, 8, 2)});
@@ -130,6 +233,8 @@ std::vector<Suite> scaling_suite() {
   s.push_back({"crc32", crc32()});
   s.push_back({"fir8x12", fir_filter(8, 12)});
   s.push_back({"fir16x16", fir_filter(16, 16)});
+  s.push_back({"rpipe32x8", random_pipeline(7, 32, 8)});
+  s.push_back({"mesh6x6x2", register_mesh(6, 6, 2)});
   return s;
 }
 

@@ -29,6 +29,24 @@ Circuit fir_filter(int taps, int width);
 /// feedback structure, the opposite shape of a feed-forward pipeline.
 Circuit crc32();
 
+/// Seeded random deep pipeline: `stages` register banks of `width` bits
+/// with rotate/XOR mixing, plus randomly drawn skip (feed-forward to a
+/// later stage's logic from an earlier register) and feedback (from a
+/// same-or-later register) edges. All cross-stage taps read register
+/// outputs, so the combinational logic is acyclic by construction no
+/// matter which edges the seed draws. Deterministic per (seed, stages,
+/// width); scales to thousands of cells (e.g. 1024 stages).
+Circuit random_pipeline(uint64_t seed, int stages, int width);
+
+/// Torus register fabric: `rows` x `cols` cells of `width` bits; each
+/// cell's next state mixes its own value with its west and north
+/// neighbours (wrap-around), forming a dense mesh of short
+/// register-to-register feedback loops — the worst case for handshake
+/// cycle structure. One serial input perturbs cell (0,0); the opposite
+/// corner drives the outputs. Each cell is its own control bank, so a
+/// rows*cols fabric yields a control model with ~2*rows*cols transitions.
+Circuit register_mesh(int rows, int cols, int width);
+
 /// One suite entry for the scaling study.
 struct Suite {
   std::string name;

@@ -11,12 +11,14 @@ namespace {
 
 /// Longest-path relaxation with weights (delay - lambda * tokens); returns
 /// true if a positive cycle exists. When `cycle_out` is non-null and a
-/// positive cycle is found, one such cycle's transitions are stored there.
+/// positive cycle is found, the arcs of one such cycle are stored there in
+/// cycle order (every cycle of the predecessor graph after n rounds of
+/// relaxation is a positive cycle).
 bool positive_cycle(const MarkedGraph& mg, double lambda,
-                    std::vector<TransId>* cycle_out) {
+                    std::vector<ArcId>* cycle_out) {
   const uint32_t n = static_cast<uint32_t>(mg.num_transitions());
   std::vector<double> dist(n, 0.0);
-  std::vector<uint32_t> parent(n, UINT32_MAX);
+  std::vector<ArcId> parent(n, ArcId::invalid());
   uint32_t changed_node = UINT32_MAX;
   for (uint32_t iter = 0; iter <= n; ++iter) {
     changed_node = UINT32_MAX;
@@ -27,40 +29,344 @@ bool positive_cycle(const MarkedGraph& mg, double lambda,
       double nd = dist[arc.from.value()] + w;
       if (nd > dist[arc.to.value()] + 1e-9) {
         dist[arc.to.value()] = nd;
-        parent[arc.to.value()] = arc.from.value();
+        parent[arc.to.value()] = ArcId(a);
         changed_node = arc.to.value();
       }
     }
     if (changed_node == UINT32_MAX) return false;  // converged: no cycle
   }
   if (cycle_out) {
-    // Walk parents n steps to land inside the cycle, then collect it.
+    // Walk parents n steps to land inside a predecessor-graph cycle, then
+    // collect its arcs.
     uint32_t v = changed_node;
-    for (uint32_t i = 0; i < n && parent[v] != UINT32_MAX; ++i) v = parent[v];
+    for (uint32_t i = 0; i < n && parent[v].valid(); ++i) {
+      v = mg.arc(parent[v]).from.value();
+    }
     cycle_out->clear();
     uint32_t u = v;
     do {
-      cycle_out->push_back(TransId(u));
-      u = parent[u];
-    } while (u != UINT32_MAX && u != v && cycle_out->size() <= n);
+      ArcId a = parent[u];
+      if (!a.valid()) break;  // defensive; cycle nodes all have parents
+      cycle_out->push_back(a);
+      u = mg.arc(a).from.value();
+    } while (u != v && cycle_out->size() <= n);
     std::reverse(cycle_out->begin(), cycle_out->end());
   }
   return true;
 }
 
+/// Rotate so the cycle starts at its smallest transition id (canonical,
+/// deterministic output) and fill in the transition list.
+void set_cycle(const MarkedGraph& mg, std::vector<ArcId> arcs,
+               CycleRatioResult* res) {
+  if (!arcs.empty()) {
+    size_t best = 0;
+    for (size_t i = 1; i < arcs.size(); ++i) {
+      if (mg.arc(arcs[i]).from < mg.arc(arcs[best]).from) best = i;
+    }
+    std::rotate(arcs.begin(), arcs.begin() + static_cast<ptrdiff_t>(best),
+                arcs.end());
+  }
+  res->cycle.clear();
+  for (ArcId a : arcs) res->cycle.push_back(mg.arc(a).from);
+  res->cycle_arcs = std::move(arcs);
+}
+
+/// Iterative Tarjan (the control models of large register fabrics would
+/// overflow the stack recursively). Returns the component id per
+/// transition and the component count.
+std::vector<int> tarjan_scc(const MarkedGraph& mg, int* num_comps) {
+  const uint32_t n = static_cast<uint32_t>(mg.num_transitions());
+  std::vector<int> comp(n, -1);
+  std::vector<uint32_t> index(n, UINT32_MAX), low(n, 0);
+  std::vector<uint32_t> stack;
+  std::vector<uint8_t> on_stack(n, 0);
+  struct Frame {
+    uint32_t v;
+    size_t next_out;
+  };
+  std::vector<Frame> work;
+  uint32_t next_index = 0;
+  int comps = 0;
+  for (uint32_t root = 0; root < n; ++root) {
+    if (index[root] != UINT32_MAX) continue;
+    work.push_back({root, 0});
+    while (!work.empty()) {
+      uint32_t v = work.back().v;
+      if (work.back().next_out == 0) {
+        index[v] = low[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = 1;
+      }
+      const std::vector<ArcId>& outs = mg.transition(TransId(v)).out;
+      bool descended = false;
+      while (work.back().next_out < outs.size()) {
+        uint32_t w = mg.arc(outs[work.back().next_out]).to.value();
+        ++work.back().next_out;
+        if (index[w] == UINT32_MAX) {
+          work.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) low[v] = std::min(low[v], index[w]);
+      }
+      if (descended) continue;
+      if (low[v] == index[v]) {
+        for (;;) {
+          uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          comp[w] = comps;
+          if (w == v) break;
+        }
+        ++comps;
+      }
+      work.pop_back();
+      if (!work.empty()) low[work.back().v] = std::min(low[work.back().v], low[v]);
+    }
+  }
+  *num_comps = comps;
+  return comp;
+}
+
+/// Howard's policy iteration over one strongly-connected component,
+/// maximizing D(C)/T(C). Every node of a nontrivial SCC has at least one
+/// out-arc staying inside it, so the policy graph (one chosen out-arc per
+/// node) is a functional graph whose cycles are genuine MG cycles; policy
+/// evaluation scores them and policy improvement switches to arcs reaching
+/// a better cycle (first by ratio, then by potential). The best policy
+/// cycle is monotone non-decreasing, so the final evaluation's best cycle
+/// attains the component's maximum cycle ratio.
+class Howard {
+ public:
+  explicit Howard(const MarkedGraph& mg)
+      : mg_(mg),
+        n_(static_cast<uint32_t>(mg.num_transitions())),
+        intra_out_(n_),
+        policy_(n_, ArcId::invalid()),
+        r_(n_, 0.0),
+        d_(n_, 0.0),
+        state_(n_, 0) {}
+
+  /// Register arc `a` as staying inside its endpoint's component.
+  void add_intra_arc(ArcId a) {
+    intra_out_[mg_.arc(a).from.value()].push_back(a);
+  }
+
+  bool has_out(uint32_t v) const { return !intra_out_[v].empty(); }
+
+  /// Run on one component; returns false if the iteration cap was hit
+  /// (callers then fall back to the reference solver).
+  bool run(const std::vector<uint32_t>& members) {
+    for (uint32_t v : members) {
+      DESYN_ASSERT(!intra_out_[v].empty(),
+                   "SCC node without an intra-component out-arc");
+      policy_[v] = intra_out_[v][0];
+    }
+    // Howard converges in a handful of iterations in practice; the cap is a
+    // safety net against epsilon-induced policy cycling.
+    const int cap = 64 + 4 * static_cast<int>(members.size());
+    for (int iter = 0; iter < cap; ++iter) {
+      evaluate(members);
+      if (!improve(members)) return true;
+    }
+    return false;
+  }
+
+  double best_ratio() const { return best_ratio_; }
+  const std::vector<ArcId>& best_cycle() const { return best_cycle_; }
+
+ private:
+  uint32_t succ(uint32_t v) const { return mg_.arc(policy_[v]).to.value(); }
+
+  /// Score the current policy graph: per-node cycle ratio r_ and potential
+  /// d_ (d_[u] = w_u - r*t_u + d_[succ(u)], anchored at one cycle node).
+  /// Tracks the best policy cycle seen in this evaluation.
+  void evaluate(const std::vector<uint32_t>& members) {
+    for (uint32_t v : members) state_[v] = 0;
+    best_ratio_ = -1.0;
+    best_cycle_.clear();
+    std::vector<uint32_t> path;
+    for (uint32_t v0 : members) {
+      if (state_[v0] != 0) continue;
+      path.clear();
+      uint32_t u = v0;
+      while (state_[u] == 0) {
+        state_[u] = 1;
+        path.push_back(u);
+        u = succ(u);
+      }
+      size_t start = path.size();  // first index of the new cycle, if any
+      if (state_[u] == 1) {
+        // Found a fresh policy cycle beginning at u; score it.
+        while (start > 0 && path[start - 1] != u) --start;
+        --start;
+        double dsum = 0.0, tsum = 0.0;
+        for (size_t i = start; i < path.size(); ++i) {
+          const Arc& a = mg_.arc(policy_[path[i]]);
+          dsum += static_cast<double>(a.delay);
+          tsum += static_cast<double>(a.tokens);
+        }
+        DESYN_ASSERT(tsum > 0, "token-free cycle in a live marked graph");
+        double rc = dsum / tsum;
+        if (rc > best_ratio_) {
+          best_ratio_ = rc;
+          best_cycle_.clear();
+          for (size_t i = start; i < path.size(); ++i) {
+            best_cycle_.push_back(policy_[path[i]]);
+          }
+        }
+        // Anchor d at the cycle head and walk the cycle forward.
+        double dv = 0.0;
+        for (size_t i = start; i < path.size(); ++i) {
+          uint32_t w = path[i];
+          r_[w] = rc;
+          d_[w] = dv;
+          const Arc& a = mg_.arc(policy_[w]);
+          dv -= static_cast<double>(a.delay) -
+                rc * static_cast<double>(a.tokens);
+        }
+      }
+      // Nodes draining into the cycle (or into an already-evaluated
+      // region) inherit ratio and accumulate potential, tail first.
+      for (size_t i = start; i-- > 0;) {
+        uint32_t w = path[i];
+        const Arc& a = mg_.arc(policy_[w]);
+        r_[w] = r_[succ(w)];
+        d_[w] = static_cast<double>(a.delay) -
+                r_[w] * static_cast<double>(a.tokens) + d_[succ(w)];
+      }
+      for (uint32_t w : path) state_[w] = 2;
+    }
+  }
+
+  bool improve(const std::vector<uint32_t>& members) {
+    bool improved = false;
+    // Phase 1: switch to arcs reaching a strictly better cycle ratio.
+    for (uint32_t v : members) {
+      double br = r_[v];
+      ArcId ba = policy_[v];
+      for (ArcId a : intra_out_[v]) {
+        uint32_t w = mg_.arc(a).to.value();
+        if (r_[w] > br + kEpsRatio) {
+          br = r_[w];
+          ba = a;
+        }
+      }
+      if (ba != policy_[v]) {
+        policy_[v] = ba;
+        improved = true;
+      }
+    }
+    if (improved) return true;
+    // Phase 2: same ratio class, strictly better potential.
+    for (uint32_t v : members) {
+      double bd = d_[v];
+      ArcId ba = policy_[v];
+      for (ArcId a : intra_out_[v]) {
+        const Arc& arc = mg_.arc(a);
+        uint32_t w = arc.to.value();
+        if (r_[w] + kEpsRatio < r_[v]) continue;
+        double val = d_[w] + static_cast<double>(arc.delay) -
+                     r_[v] * static_cast<double>(arc.tokens);
+        if (val > bd + kEpsPotential) {
+          bd = val;
+          ba = a;
+        }
+      }
+      if (ba != policy_[v]) {
+        policy_[v] = ba;
+        improved = true;
+      }
+    }
+    return improved;
+  }
+
+  static constexpr double kEpsRatio = 1e-9;
+  static constexpr double kEpsPotential = 1e-7;
+
+  const MarkedGraph& mg_;
+  uint32_t n_;
+  std::vector<std::vector<ArcId>> intra_out_;
+  std::vector<ArcId> policy_;
+  std::vector<double> r_, d_;
+  std::vector<uint8_t> state_;
+  double best_ratio_ = -1.0;
+  std::vector<ArcId> best_cycle_;  ///< arcs of the latest evaluation's best
+};
+
 }  // namespace
+
+double cycle_ratio(const MarkedGraph& mg, std::span<const ArcId> arcs) {
+  DESYN_ASSERT(!arcs.empty(), "cycle_ratio needs a non-empty cycle");
+  Ps delay = 0;
+  int64_t tokens = 0;
+  for (size_t i = 0; i < arcs.size(); ++i) {
+    const Arc& a = mg.arc(arcs[i]);
+    const Arc& next = mg.arc(arcs[(i + 1) % arcs.size()]);
+    DESYN_ASSERT(a.to == next.from, "arcs do not chain into a closed cycle");
+    delay += a.delay;
+    tokens += a.tokens;
+  }
+  DESYN_ASSERT(tokens > 0, "cycle carries no token (dead marked graph?)");
+  return static_cast<double>(delay) / static_cast<double>(tokens);
+}
 
 CycleRatioResult max_cycle_ratio(const MarkedGraph& mg) {
   DESYN_ASSERT(is_live(mg), "max_cycle_ratio requires a live marked graph");
   CycleRatioResult res;
+  int num_comps = 0;
+  std::vector<int> comp = tarjan_scc(mg, &num_comps);
+
+  Howard howard(mg);
+  for (uint32_t a = 0; a < mg.num_arcs(); ++a) {
+    const Arc& arc = mg.arc(ArcId(a));
+    if (comp[arc.from.value()] == comp[arc.to.value()]) {
+      howard.add_intra_arc(ArcId(a));
+    }
+  }
+  std::vector<std::vector<uint32_t>> members(
+      static_cast<size_t>(num_comps));
+  for (uint32_t v = 0; v < mg.num_transitions(); ++v) {
+    members[static_cast<size_t>(comp[v])].push_back(v);
+  }
+
+  double best = -1.0;
+  std::vector<ArcId> best_arcs;
+  for (const std::vector<uint32_t>& m : members) {
+    // Singleton components without a self-loop contain no cycle.
+    if (m.size() == 1 && !howard.has_out(m[0])) continue;
+    if (!howard.run(m)) return max_cycle_ratio_reference(mg);
+    if (howard.best_ratio() > best) {
+      best = howard.best_ratio();
+      best_arcs = howard.best_cycle();
+    }
+  }
+  if (best_arcs.empty()) {
+    res.ratio = 0.0;  // acyclic graph: nothing bounds the throughput
+    return res;
+  }
+  res.ratio = cycle_ratio(mg, best_arcs);  // exact D/T of the critical cycle
+  set_cycle(mg, std::move(best_arcs), &res);
+  return res;
+}
+
+CycleRatioResult max_cycle_ratio_reference(const MarkedGraph& mg) {
+  DESYN_ASSERT(is_live(mg),
+               "max_cycle_ratio_reference requires a live marked graph");
+  CycleRatioResult res;
+  std::vector<ArcId> arcs;
+  if (!positive_cycle(mg, 0.0, nullptr)) {
+    // All cycles have zero total delay (or there are none). Any cycle is
+    // critical; at lambda = -1 every cycle has weight D + T >= 1 > 0, so
+    // detection finds one iff one exists.
+    res.ratio = 0.0;
+    if (positive_cycle(mg, -1.0, &arcs)) set_cycle(mg, std::move(arcs), &res);
+    return res;
+  }
   double lo = 0.0, hi = 1.0;
   for (uint32_t a = 0; a < mg.num_arcs(); ++a) {
     hi += static_cast<double>(mg.arc(ArcId(a)).delay);
-  }
-  if (!positive_cycle(mg, 0.0, nullptr)) {
-    // All cycles have zero total delay (or there are none).
-    res.ratio = 0.0;
-    return res;
   }
   for (int it = 0; it < 64; ++it) {
     double mid = 0.5 * (lo + hi);
@@ -70,10 +376,27 @@ CycleRatioResult max_cycle_ratio(const MarkedGraph& mg) {
       hi = mid;
     }
   }
-  res.ratio = hi;
-  // Extract a critical cycle just below the ratio.
-  positive_cycle(mg, std::max(0.0, res.ratio * (1.0 - 1e-7) - 1e-7),
-                 &res.cycle);
+  // Extraction: probe just below the answer, then climb by exact cycle
+  // ratios. Each extracted predecessor-graph cycle is positive at the probe
+  // lambda but not necessarily critical; adopting its exact D/T and
+  // re-probing strictly above it terminates (finitely many cycle ratios)
+  // with a genuinely critical cycle.
+  double probe = std::max(0.0, lo * (1.0 - 1e-9) - 1e-9);
+  if (!positive_cycle(mg, probe, &arcs)) {
+    bool found = positive_cycle(mg, 0.0, &arcs);
+    DESYN_ASSERT(found);
+  }
+  double r = cycle_ratio(mg, arcs);
+  for (;;) {
+    std::vector<ArcId> better;
+    if (!positive_cycle(mg, r + 1e-9 * (1.0 + r), &better)) break;
+    double r2 = cycle_ratio(mg, better);
+    if (!(r2 > r)) break;
+    r = r2;
+    arcs = std::move(better);
+  }
+  res.ratio = r;
+  set_cycle(mg, std::move(arcs), &res);
   return res;
 }
 

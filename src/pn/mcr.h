@@ -6,7 +6,16 @@
 // C, where D is total delay and T total tokens. This predicts the cycle
 // time of a desynchronized circuit analytically; bench A3 cross-checks it
 // against event-driven simulation.
+//
+// Two solvers are provided (see docs/PERF.md for the full comparison):
+//  * max_cycle_ratio — Howard's policy iteration, the production solver.
+//    Near-linear in practice; the hot path of every throughput query.
+//  * max_cycle_ratio_reference — parametric binary search over Bellman-Ford
+//    positive-cycle detection, O(64·n·m). Kept as an independent oracle for
+//    cross-checking (tests compare the two on randomized marked graphs).
 #pragma once
+
+#include <span>
 
 #include "pn/petri.h"
 
@@ -14,13 +23,28 @@ namespace desyn::pn {
 
 struct CycleRatioResult {
   double ratio = 0;               ///< asymptotic period (ps per token)
-  std::vector<TransId> cycle;     ///< one critical cycle (transition list)
+  std::vector<TransId> cycle;     ///< critical cycle: transitions in order
+  /// Arcs of the critical cycle: cycle_arcs[i] runs from cycle[i] to
+  /// cycle[(i+1) % size]. Empty iff the graph has no cycle at all. The
+  /// cycle is genuine: cycle_ratio(mg, cycle_arcs) == ratio.
+  std::vector<ArcId> cycle_arcs;
 };
 
-/// Maximum cycle ratio via parametric binary search + Bellman-Ford positive
-/// cycle detection. Requires a live MG with at least one cycle; arcs not on
-/// any cycle are handled naturally (they never bound the ratio).
+/// Exact delay/token ratio of the closed cycle formed by `arcs`
+/// (consecutive arcs must chain head-to-tail and wrap around). Asserts the
+/// cycle carries at least one token, as liveness guarantees.
+double cycle_ratio(const MarkedGraph& mg, std::span<const ArcId> arcs);
+
+/// Maximum cycle ratio via Howard's policy iteration, run independently on
+/// every strongly-connected component (arcs not on any cycle never bound
+/// the ratio). Requires a live MG; graphs without any cycle yield ratio 0
+/// and an empty cycle.
 CycleRatioResult max_cycle_ratio(const MarkedGraph& mg);
+
+/// Reference solver: parametric binary search + Bellman-Ford positive-cycle
+/// detection, followed by an exact cycle-ratio climb so the returned cycle
+/// is genuinely critical (its exact D/T is the returned ratio).
+CycleRatioResult max_cycle_ratio_reference(const MarkedGraph& mg);
 
 /// Earliest-firing schedule: fire time of the k-th firing (k = 0..rounds-1)
 /// of every transition under the greedy timed semantics (a transition fires

@@ -44,6 +44,7 @@ FlowEqResult check_flow_equivalence(const nl::Netlist& ff_netlist,
   {
     nl::Netlist snl = ff_netlist;
     flow::ClockTree tree = flow::build_clock_tree(snl, clock, tech);
+    res.sync_cells = snl.num_live_cells();
 
     sta::Sta sta(ff_netlist, tech);
     Ps period = static_cast<Ps>(
@@ -95,6 +96,7 @@ FlowEqResult check_flow_equivalence(const nl::Netlist& ff_netlist,
   {
     flow::DesyncResult dr =
         flow::desynchronize(ff_netlist, clock, tech, opt.desync);
+    res.desync_cells = dr.netlist.num_live_cells();
     res.predicted_period =
         pn::max_cycle_ratio(flow::timed_control_model(dr, tech)).ratio;
     sim::Simulator sim(dr.netlist, tech);

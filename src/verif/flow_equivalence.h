@@ -44,6 +44,11 @@ struct FlowEqResult {
   double predicted_period = 0;
   uint64_t sync_setup_violations = 0;
   uint64_t desync_setup_violations = 0;
+  /// Gate counts of the two implementations actually simulated (the sync
+  /// one includes its clock tree, the desync one its controllers and
+  /// matched-delay lines) — the sweep reports these per cell.
+  size_t sync_cells = 0;
+  size_t desync_cells = 0;
   double sync_power_mw = 0;      ///< total dynamic power (measured window)
   double desync_power_mw = 0;
   double sync_clock_power_mw = 0;   ///< clock-tree share

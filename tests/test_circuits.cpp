@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "netlist/query.h"
+#include "netlist/writer.h"
 #include "sim/sim.h"
 #include "verif/flow_equivalence.h"
 
@@ -79,11 +82,57 @@ INSTANTIATE_TEST_SUITE_P(Kinds, SuiteFlowEq, ::testing::Values(0, 1, 2, 3));
 
 TEST(Circuits, ScalingSuiteBuilds) {
   auto suite = scaling_suite();
-  EXPECT_GE(suite.size(), 6u);
+  EXPECT_GE(suite.size(), 11u);  // incl. the generated rpipe/mesh shapes
   for (auto& s : suite) {
     s.circuit.netlist.check();
     EXPECT_GT(nl::stats(s.circuit.netlist, Tech::generic90()).flipflops, 0u);
   }
+}
+
+TEST(Circuits, RandomPipelineIsDeterministicPerSeed) {
+  Circuit a = random_pipeline(7, 8, 4);
+  Circuit b = random_pipeline(7, 8, 4);
+  a.netlist.check();
+  EXPECT_EQ(nl::stats(a.netlist, Tech::generic90()).flipflops, 8u * 4u);
+  std::ostringstream va, vb;
+  nl::write_verilog(a.netlist, va);
+  nl::write_verilog(b.netlist, vb);
+  EXPECT_EQ(va.str(), vb.str());  // same seed, byte-identical structure
+}
+
+TEST(Circuits, RandomPipelineScalesToThousandsOfCells) {
+  Circuit c = random_pipeline(11, 128, 8);
+  c.netlist.check();
+  EXPECT_EQ(nl::stats(c.netlist, Tech::generic90()).flipflops, 128u * 8u);
+  EXPECT_GT(c.netlist.num_live_cells(), 2000u);
+}
+
+TEST(Circuits, RandomPipelineFlowEquivalent) {
+  Circuit c = random_pipeline(3, 6, 4);
+  verif::FlowEqOptions opt;
+  opt.rounds = 25;
+  auto res = verif::check_flow_equivalence(c.netlist, c.clock,
+                                           verif::random_stimulus(23),
+                                           Tech::generic90(), opt);
+  EXPECT_TRUE(res.equivalent) << c.netlist.name() << ": " << res.mismatch;
+  EXPECT_EQ(res.desync_setup_violations, 0u);
+}
+
+TEST(Circuits, RegisterMeshStructure) {
+  Circuit c = register_mesh(3, 4, 2);
+  c.netlist.check();
+  EXPECT_EQ(nl::stats(c.netlist, Tech::generic90()).flipflops, 3u * 4u * 2u);
+}
+
+TEST(Circuits, RegisterMeshFlowEquivalent) {
+  Circuit c = register_mesh(3, 3, 2);
+  verif::FlowEqOptions opt;
+  opt.rounds = 25;
+  auto res = verif::check_flow_equivalence(c.netlist, c.clock,
+                                           verif::random_stimulus(29),
+                                           Tech::generic90(), opt);
+  EXPECT_TRUE(res.equivalent) << c.netlist.name() << ": " << res.mismatch;
+  EXPECT_EQ(res.desync_setup_violations, 0u);
 }
 
 }  // namespace

@@ -4,6 +4,9 @@
 
 #include <algorithm>
 
+#include "cell/tech.h"
+#include "circuits/circuits.h"
+#include "core/desynchronizer.h"
 #include "pn/analysis.h"
 #include "pn/mcr.h"
 
@@ -168,6 +171,54 @@ TEST(Mcr, EarliestScheduleRespectsCausality) {
   EXPECT_EQ(sched[a.value()][1], 200);
 }
 
+TEST(Mcr, ReferenceAgreesOnClassicCases) {
+  auto r = max_cycle_ratio_reference(ring2(1, 0, 100, 200));
+  EXPECT_NEAR(r.ratio, 300.0, 1e-9);
+  auto r2 = max_cycle_ratio_reference(ring2(1, 1, 100, 200));
+  EXPECT_NEAR(r2.ratio, 150.0, 1e-9);
+  auto rz = max_cycle_ratio_reference(ring2(1, 0, 0, 0));
+  EXPECT_NEAR(rz.ratio, 0.0, 1e-12);
+}
+
+/// Both solvers must return a *genuine* critical cycle: a closed arc walk
+/// whose exact delay/token ratio equals the reported ratio (the old
+/// extraction re-ran detection at an epsilon-shifted lambda and could hand
+/// back any positive — not critical — cycle).
+void expect_genuine_critical_cycle(const MarkedGraph& mg,
+                                   const CycleRatioResult& r) {
+  ASSERT_FALSE(r.cycle_arcs.empty()) << mg.name();
+  ASSERT_EQ(r.cycle.size(), r.cycle_arcs.size()) << mg.name();
+  for (size_t i = 0; i < r.cycle_arcs.size(); ++i) {
+    const Arc& a = mg.arc(r.cycle_arcs[i]);
+    EXPECT_EQ(a.from, r.cycle[i]) << mg.name();
+    EXPECT_EQ(a.to, r.cycle[(i + 1) % r.cycle.size()]) << mg.name();
+  }
+  EXPECT_NEAR(cycle_ratio(mg, r.cycle_arcs), r.ratio,
+              1e-9 * (1.0 + r.ratio))
+      << mg.name();
+}
+
+TEST(Mcr, CriticalCycleIsGenuine) {
+  // Two rings sharing a; the slow ring (ratio 900) must be the one handed
+  // back, not merely *a* positive cycle like the fast ring (ratio 200).
+  MarkedGraph mg("g");
+  TransId a = mg.add_transition("a");
+  TransId b = mg.add_transition("b");
+  TransId c = mg.add_transition("c");
+  mg.add_arc(a, b, 1, 100);
+  mg.add_arc(b, a, 0, 100);
+  ArcId slow1 = mg.add_arc(a, c, 1, 500);
+  ArcId slow2 = mg.add_arc(c, a, 0, 400);
+  for (auto solve : {&max_cycle_ratio, &max_cycle_ratio_reference}) {
+    auto r = solve(mg);
+    EXPECT_NEAR(r.ratio, 900.0, 1e-6);
+    expect_genuine_critical_cycle(mg, r);
+    std::vector<ArcId> sorted = r.cycle_arcs;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<ArcId>{slow1, slow2}));
+  }
+}
+
 TEST(Dot, ContainsTransitionsAndTokens) {
   MarkedGraph mg = ring2(1, 0, 10, 0);
   std::string dot = mg.to_dot();
@@ -269,6 +320,69 @@ TEST_P(RandomMg, StructuralAnalysesAgreeWithExploration) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomMg,
                          ::testing::Range<uint64_t>(1, 40));
+
+/// Random *live* timed marked graphs: every arc carries at least one
+/// token, so every cycle does too. Seeds ending in 0 draw all delays zero
+/// (zero-delay-cycle edge case); seeds ending in 1 draw a plain single
+/// ring (one-cycle edge case).
+MarkedGraph random_timed_mg(uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 1);
+  const int n = 4 + static_cast<int>(rng.below(12));
+  const bool zero_delay = seed % 10 == 0;
+  const bool single_ring = seed % 10 == 1;
+  const int chords = single_ring ? 0 : 2 + static_cast<int>(rng.below(8));
+  MarkedGraph mg(cat("randtimed", seed));
+  for (int i = 0; i < n; ++i) mg.add_transition(cat("t", i));
+  auto delay = [&]() -> Ps {
+    return zero_delay ? 0 : static_cast<Ps>(rng.below(1000));
+  };
+  for (int i = 0; i < n; ++i) {
+    mg.add_arc(TransId(static_cast<uint32_t>(i)),
+               TransId(static_cast<uint32_t>((i + 1) % n)),
+               1 + static_cast<int>(rng.below(2)), delay());
+  }
+  for (int c = 0; c < chords; ++c) {
+    mg.add_arc(
+        TransId(static_cast<uint32_t>(rng.below(static_cast<uint64_t>(n)))),
+        TransId(static_cast<uint32_t>(rng.below(static_cast<uint64_t>(n)))),
+        1 + static_cast<int>(rng.below(2)), delay());
+  }
+  return mg;
+}
+
+class HowardVsReference : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HowardVsReference, SolversAgreeAndCyclesAreGenuine) {
+  MarkedGraph mg = random_timed_mg(GetParam());
+  ASSERT_TRUE(is_live(mg));
+  auto howard = max_cycle_ratio(mg);
+  auto ref = max_cycle_ratio_reference(mg);
+  EXPECT_NEAR(howard.ratio, ref.ratio, 1e-6 * (1.0 + howard.ratio))
+      << mg.to_dot();
+  expect_genuine_critical_cycle(mg, howard);
+  expect_genuine_critical_cycle(mg, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HowardVsReference,
+                         ::testing::Range<uint64_t>(0, 60));
+
+/// Regression for the fragile extraction bug: on every suite circuit's
+/// timed control model, both solvers must agree and hand back a critical
+/// cycle whose exact delay/token ratio is the returned period.
+TEST(Mcr, SuiteControlModelCriticalCyclesAreExact) {
+  const cell::Tech& t = cell::Tech::generic90();
+  for (auto& s : circuits::scaling_suite()) {
+    flow::DesyncResult dr =
+        flow::desynchronize(s.circuit.netlist, s.circuit.clock, t);
+    MarkedGraph mg = flow::timed_control_model(dr, t);
+    auto howard = max_cycle_ratio(mg);
+    auto ref = max_cycle_ratio_reference(mg);
+    EXPECT_NEAR(howard.ratio, ref.ratio, 1e-6 * (1.0 + howard.ratio))
+        << s.name;
+    expect_genuine_critical_cycle(mg, howard);
+    expect_genuine_critical_cycle(mg, ref);
+  }
+}
 
 }  // namespace
 }  // namespace desyn::pn

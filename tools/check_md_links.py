@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Markdown link check: every relative link target in the given files must
+exist on disk. External (http/https/mailto) links are not fetched — CI must
+stay hermetic — and pure #anchors are skipped. Usage:
+
+    python3 tools/check_md_links.py README.md docs/*.md
+
+Exits nonzero listing every broken link as file:line: target.
+"""
+import re
+import sys
+from pathlib import Path
+
+# Inline links [text](target); images ![alt](target) match the same way.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Fenced code blocks must not contribute false links.
+FENCE = re.compile(r"^(```|~~~)")
+
+
+def check(path: Path) -> list[str]:
+    errors = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            if not (path.parent / rel).exists():
+                errors.append(f"{path}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    for name in argv[1:]:
+        p = Path(name)
+        if not p.exists():
+            errors.append(f"{name}: file not found")
+            continue
+        errors.extend(check(p))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {len(argv) - 1} file(s), {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
