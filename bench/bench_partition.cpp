@@ -1,0 +1,80 @@
+// Partition-strategy Pareto study: controller + matched-delay gate cost
+// versus predicted cycle time across bank partitioning strategies, on the
+// three large acceptance designs (the DLX case study, rpipe32x8 and
+// mesh6x6x2). The MCR-guided optimizer (auto:B) should dominate the fixed
+// strategies: fewer control cells than per-flip-flop at a predicted period
+// within B of the Prefix baseline. Results are recorded in docs/PERF.md.
+//
+// Cost reported is the real synthesized control network (controller logic
+// + DELAY cells, ctl::synthesize_controllers output), not an estimate;
+// predicted periods are Howard max-cycle-ratio of the timed control model.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "circuits/circuits.h"
+#include "core/desynchronizer.h"
+#include "dlx/cpu_builder.h"
+#include "dlx/programs.h"
+#include "pn/mcr.h"
+
+using namespace desyn;
+
+namespace {
+
+struct Design {
+  std::string name;
+  nl::Netlist netlist;
+  nl::NetId clock;
+};
+
+std::vector<Design> designs() {
+  std::vector<Design> out;
+  {
+    dlx::DlxConfig cfg;
+    nl::Netlist nl("dlx");
+    dlx::build_dlx(nl, cfg, dlx::fibonacci_program(8));
+    nl::NetId clk = nl.find_net("clk");
+    out.push_back({"dlx", std::move(nl), clk});
+  }
+  for (circuits::Suite& s : circuits::scaling_suite()) {
+    if (s.name == "rpipe32x8" || s.name == "mesh6x6x2") {
+      out.push_back({s.name, std::move(s.circuit.netlist), s.circuit.clock});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const cell::Tech& tech = cell::Tech::generic90();
+  const ctl::Protocol protocol = ctl::Protocol::SemiDecoupled;
+  const char* strategies[] = {"prefix",    "perff",     "single",
+                              "auto:1.02", "auto:1.05", "auto:1.2"};
+
+  std::printf(
+      "Partition Pareto (protocol %s): control cells vs predicted period\n\n",
+      ctl::protocol_name(protocol));
+  std::printf("%-10s %-10s %6s %10s %11s %10s\n", "design", "strategy",
+              "banks", "ctl+delay", "pred(ps)", "vs prefix");
+  for (Design& d : designs()) {
+    double prefix_period = 0;
+    for (const char* strat : strategies) {
+      flow::DesyncOptions opt;
+      opt.strategy = flow::PartitionSpec::parse(strat);
+      opt.protocol = protocol;
+      flow::DesyncResult dr =
+          flow::desynchronize(d.netlist, d.clock, tech, opt);
+      double pred =
+          pn::max_cycle_ratio(flow::timed_control_model(dr, tech)).ratio;
+      if (std::string(strat) == "prefix") prefix_period = pred;
+      std::printf("%-10s %-10s %6zu %10zu %11.0f %9.2fx\n", d.name.c_str(),
+                  strat, dr.cg.num_banks(),
+                  dr.ctrl.cells.size(), pred,
+                  prefix_period > 0 ? pred / prefix_period : 0.0);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

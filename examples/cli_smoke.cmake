@@ -43,3 +43,13 @@ execute_process(COMMAND ${CLI} sweep --margins 1.1 --rounds 15
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "desyn_cli sweep failed with exit code ${rc}")
 endif()
+
+# 5. the strategy axis, including the MCR-guided partition optimizer
+#    (auto:B); two worker threads exercise the parallel path.
+execute_process(COMMAND ${CLI} sweep --margins 1.1 --rounds 10
+    --protocol semi --strategies perff,auto:1.05 --jobs 2
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "desyn_cli sweep --strategies failed with exit code ${rc}")
+endif()

@@ -8,13 +8,15 @@
 // Reads a structural-Verilog FF netlist (the subset write_verilog emits),
 // desynchronizes it under the chosen handshake protocol, writes the
 // self-timed netlist, and prints the bank/edge report plus the analytic
-// cycle-time prediction. `strategy` is one of prefix|perff|single
-// (default prefix).
+// cycle-time prediction. `strategy` is one of prefix[:N]|perff|single|
+// auto[:B] (default prefix): prefix:N strips N trailing name segments,
+// auto:B runs the MCR-guided partition optimizer with period budget B.
 //
-// Sweep mode — the protocol x circuit x margin study over the built-in
-// circuit suite:
+// Sweep mode — the circuit x strategy x protocol x margin study over the
+// built-in circuit suite:
 //
 //   desyn_cli sweep [--margins 1.0,1.1,1.3] [--protocol <p>|all]
+//                   [--strategies prefix,perff,single,auto:1.05]
 //                   [--rounds N] [--full-suite] [--jobs N]
 //                   [--json <path>] [--stable]
 //
@@ -24,12 +26,14 @@
 // checker, which simultaneously proves the transformation correct. Exits
 // nonzero if any combination fails flow equivalence.
 //
-// Each circuit x protocol x margin cell is an independent task; --jobs N
-// runs them on N worker threads. Results are reported in the same
+// Each circuit x strategy x protocol x margin cell is an independent task;
+// --jobs N runs them on N worker threads. Results are reported in the same
 // deterministic order regardless of job count, so `--jobs 4` output is
 // byte-identical to a serial run. --json writes a structured report
-// (schema documented in docs/PERF.md); --stable omits the wall-clock
-// fields from it so two runs of the same sweep diff cleanly.
+// (schema desyn-sweep-v2, documented in docs/PERF.md, with per-cell
+// partition stats: bank count, controller cells, matched-delay cells);
+// --stable omits the wall-clock fields from it so two runs of the same
+// sweep diff cleanly.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -78,25 +82,41 @@ int parse_count(const std::string& s, const char* what) {
   }
 }
 
-std::vector<double> parse_margins(const std::string& list) {
-  std::vector<double> out;
+std::vector<std::string> split_list(const std::string& list) {
+  std::vector<std::string> out;
   std::string cur;
   for (char c : list + ",") {
     if (c == ',') {
-      if (!cur.empty()) out.push_back(parse_margin(cur));
+      if (!cur.empty()) out.push_back(cur);
       cur.clear();
     } else {
       cur += c;
     }
   }
+  return out;
+}
+
+std::vector<double> parse_margins(const std::string& list) {
+  std::vector<double> out;
+  for (const std::string& s : split_list(list)) out.push_back(parse_margin(s));
   if (out.empty()) fail("--margins needs at least one value");
   return out;
 }
 
-/// One circuit x protocol x margin cell of the sweep. Cells are
+std::vector<flow::PartitionSpec> parse_strategies(const std::string& list) {
+  std::vector<flow::PartitionSpec> out;
+  for (const std::string& s : split_list(list)) {
+    out.push_back(flow::PartitionSpec::parse(s));
+  }
+  if (out.empty()) fail("--strategies needs at least one value");
+  return out;
+}
+
+/// One circuit x strategy x protocol x margin cell of the sweep. Cells are
 /// independent tasks; the vector order is the deterministic report order.
 struct SweepCell {
   size_t suite_idx;
+  size_t strategy_idx;
   ctl::Protocol protocol;
   double margin;
   Ps sync_period = 0;
@@ -122,26 +142,32 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-/// Structured sweep report (schema "desyn-sweep-v1", see docs/PERF.md).
+/// Structured sweep report (schema "desyn-sweep-v2", see docs/PERF.md).
 /// With `stable` the wall-clock fields are omitted so two runs of the same
 /// sweep — any job count — are byte-identical.
 void write_sweep_json(const std::string& path,
                       const std::vector<circuits::Suite>& suite,
+                      const std::vector<flow::PartitionSpec>& strategies,
                       const std::vector<SweepCell>& cells, int rounds,
                       int failures, bool stable, double total_ms) {
   std::ofstream out(path);
   if (!out) fail("cannot write ", path);
   char buf[256];
-  out << "{\n  \"schema\": \"desyn-sweep-v1\",\n";
+  out << "{\n  \"schema\": \"desyn-sweep-v2\",\n";
   out << "  \"rounds\": " << rounds << ",\n";
   out << "  \"cells\": [\n";
   for (size_t i = 0; i < cells.size(); ++i) {
     const SweepCell& c = cells[i];
     const verif::FlowEqResult& r = c.res;
     out << "    {\"circuit\": \"" << json_escape(suite[c.suite_idx].name)
+        << "\", \"strategy\": \""
+        << json_escape(strategies[c.strategy_idx].label())
         << "\", \"protocol\": \"" << ctl::protocol_name(c.protocol) << "\",";
     std::snprintf(buf, sizeof buf, " \"margin\": %.4f,", c.margin);
-    out << buf << "\n     \"sync_cells\": " << r.sync_cells
+    out << buf << "\n     \"banks\": " << r.banks
+        << ", \"controller_cells\": " << r.controller_cells
+        << ", \"delay_cells\": " << r.delay_cells << ",\n";
+    out << "     \"sync_cells\": " << r.sync_cells
         << ", \"desync_cells\": " << r.desync_cells
         << ", \"registers\": " << r.registers_compared
         << ", \"captures\": " << r.captures_compared << ",\n";
@@ -176,6 +202,7 @@ int run_sweep(int argc, char** argv) {
   std::vector<double> margins = {1.0, 1.1, 1.3};
   std::vector<ctl::Protocol> protocols(std::begin(ctl::kAllProtocols),
                                        std::end(ctl::kAllProtocols));
+  std::vector<flow::PartitionSpec> strategies = {flow::PartitionSpec{}};
   int rounds = 25;
   int jobs = 1;
   bool full_suite = false;
@@ -189,6 +216,8 @@ int run_sweep(int argc, char** argv) {
     };
     if (a == "--margins") {
       margins = parse_margins(need_value("--margins"));
+    } else if (a == "--strategies") {
+      strategies = parse_strategies(need_value("--strategies"));
     } else if (a == "--protocol") {
       std::string v = need_value("--protocol");
       if (v != "all") protocols = {ctl::parse_protocol(v)};
@@ -229,9 +258,11 @@ int run_sweep(int argc, char** argv) {
   }
   std::vector<SweepCell> cells;
   for (size_t si = 0; si < suite.size(); ++si) {
-    for (ctl::Protocol p : protocols) {
-      for (double m : margins) {
-        cells.push_back({si, p, m, sync_periods[si], {}, 0.0, false});
+    for (size_t st = 0; st < strategies.size(); ++st) {
+      for (ctl::Protocol p : protocols) {
+        for (double m : margins) {
+          cells.push_back({si, st, p, m, sync_periods[si], {}, 0.0, false});
+        }
       }
     }
   }
@@ -247,6 +278,7 @@ int run_sweep(int argc, char** argv) {
       auto start = std::chrono::steady_clock::now();
       verif::FlowEqOptions opt;
       opt.rounds = rounds;
+      opt.desync.strategy = strategies[c.strategy_idx];
       opt.desync.margin = c.margin;
       opt.desync.protocol = c.protocol;
       try {
@@ -271,15 +303,18 @@ int run_sweep(int argc, char** argv) {
                         std::chrono::steady_clock::now() - t0)
                         .count();
 
-  printf("%-12s %-15s %-7s %9s %10s %10s %8s %5s\n", "circuit", "protocol",
-         "margin", "sync(ps)", "pred(ps)", "meas(ps)", "meas/pred", "eq");
+  printf("%-12s %-10s %-15s %-7s %6s %9s %10s %10s %8s %5s\n", "circuit",
+         "strategy", "protocol", "margin", "banks", "sync(ps)", "pred(ps)",
+         "meas(ps)", "meas/pred", "eq");
   int failures = 0;
   for (const SweepCell& c : cells) {
     if (!c.ok) ++failures;
-    printf("%-12s %-15s %-7.2f %9lld %10.0f %10.0f %8.2f %5s\n",
-           suite[c.suite_idx].name.c_str(), ctl::protocol_name(c.protocol),
-           c.margin, static_cast<long long>(c.sync_period),
-           c.res.predicted_period, c.res.desync_period,
+    printf("%-12s %-10s %-15s %-7.2f %6zu %9lld %10.0f %10.0f %8.2f %5s\n",
+           suite[c.suite_idx].name.c_str(),
+           strategies[c.strategy_idx].label().c_str(),
+           ctl::protocol_name(c.protocol), c.margin, c.res.banks,
+           static_cast<long long>(c.sync_period), c.res.predicted_period,
+           c.res.desync_period,
            c.res.predicted_period > 0
                ? c.res.desync_period / c.res.predicted_period
                : 0.0,
@@ -290,8 +325,8 @@ int run_sweep(int argc, char** argv) {
   }
   printf("\n%d combination(s) failed\n", failures);
   if (!json_path.empty()) {
-    write_sweep_json(json_path, suite, cells, rounds, failures, stable,
-                     total_ms);
+    write_sweep_json(json_path, suite, strategies, cells, rounds, failures,
+                     stable, total_ms);
   }
   return failures == 0 ? 0 : 1;
 }
@@ -312,10 +347,13 @@ int run_single(int argc, char** argv) {
   if (pos.size() < 3) {
     std::fprintf(stderr,
                  "usage: desyn_cli <input.v> <clock-net> <output.v> [margin] "
-                 "[prefix|perff|single] [--protocol lockstep|semi|fully|pulse]\n"
+                 "[prefix[:N]|perff|single|auto[:B]] "
+                 "[--protocol lockstep|semi|fully|pulse]\n"
                  "       desyn_cli sweep [--margins 1.0,1.1,1.3] "
-                 "[--protocol <p>|all] [--rounds N] [--full-suite]\n"
-                 "                 [--jobs N] [--json <path>] [--stable]\n");
+                 "[--protocol <p>|all] "
+                 "[--strategies prefix,perff,single,auto:1.05]\n"
+                 "                 [--rounds N] [--full-suite] [--jobs N] "
+                 "[--json <path>] [--stable]\n");
     return 2;
   }
   std::ifstream in(pos[0]);
@@ -329,18 +367,7 @@ int run_single(int argc, char** argv) {
   flow::DesyncOptions opt;
   opt.protocol = protocol;
   if (pos.size() > 3) opt.margin = parse_margin(pos[3]);
-  if (pos.size() > 4) {
-    if (pos[4] == "perff") {
-      opt.strategy = flow::BankStrategy::PerFlipFlop;
-    } else if (pos[4] == "single") {
-      opt.strategy = flow::BankStrategy::Single;
-    } else if (pos[4] == "prefix") {
-      opt.strategy = flow::BankStrategy::Prefix;
-    } else {
-      fail("unknown bank strategy '", pos[4],
-           "' (expected prefix|perff|single)");
-    }
-  }
+  if (pos.size() > 4) opt.strategy = flow::PartitionSpec::parse(pos[4]);
 
   const cell::Tech& tech = cell::Tech::generic90();
   sta::Sta sta(ff, tech);
@@ -352,6 +379,8 @@ int run_single(int argc, char** argv) {
   nl::write_verilog(dr.netlist, out);
 
   std::printf("protocol: %s\n", ctl::protocol_name(opt.protocol));
+  std::printf("strategy: %s (%zu storage groups)\n",
+              opt.strategy.label().c_str(), dr.partition.num_groups());
   std::printf("input : %s\n", nl::stats(ff, tech).to_string().c_str());
   std::printf("output: %s\n", nl::stats(dr.netlist, tech).to_string().c_str());
   std::printf("banks (%zu):\n", dr.cg.num_banks());

@@ -164,4 +164,20 @@ AdjacencyResult extract_control_graph(const nl::Netlist& nl,
   return res;
 }
 
+ctl::ControlGraph quotient_control_graph(
+    const ctl::ControlGraph& fine, std::span<const int> bank_map,
+    std::span<const ctl::ControlGraph::Bank> banks) {
+  DESYN_ASSERT(bank_map.size() == fine.num_banks());
+  ctl::ControlGraph q;
+  for (const ctl::ControlGraph::Bank& b : banks) q.add_bank(b.name, b.even);
+  for (const ctl::ControlGraph::Edge& e : fine.edges()) {
+    // add_edge merges duplicates keeping the larger delay: the quotient of
+    // the max-plus arrival data is the max over member edges.
+    q.add_edge(bank_map[static_cast<size_t>(e.from)],
+               bank_map[static_cast<size_t>(e.to)], e.matched_delay);
+  }
+  q.validate();
+  return q;
+}
+
 }  // namespace desyn::flow

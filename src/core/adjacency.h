@@ -14,6 +14,8 @@
 // has a predecessor and a successor, which the controller network requires.
 #pragma once
 
+#include <span>
+
 #include "cell/tech.h"
 #include "core/latchify.h"
 #include "ctl/protocol.h"
@@ -36,5 +38,18 @@ AdjacencyResult extract_control_graph(const nl::Netlist& nl,
                                       const cell::Tech& tech, double margin,
                                       ctl::Protocol protocol =
                                           ctl::Protocol::Pulse);
+
+/// The control graph of a *coarser* partition, derived from a finer one
+/// without re-running timing: `bank_map[i]` is the quotient bank of fine
+/// bank `i` (parity must be preserved; map the fine env pair onto the
+/// quotient env pair), `banks` the quotient banks in order. Edges mapping
+/// to the same quotient pair merge keeping the larger matched delay —
+/// exactly what STA extraction of the merged banks would produce, since
+/// arrival times are max-plus. This is the optimizer's incremental
+/// re-scoring hook: only the merged banks' rows change, the rest of the
+/// graph is copied.
+ctl::ControlGraph quotient_control_graph(
+    const ctl::ControlGraph& fine, std::span<const int> bank_map,
+    std::span<const ctl::ControlGraph::Bank> banks);
 
 }  // namespace desyn::flow

@@ -1,16 +1,78 @@
 #include "core/desynchronizer.h"
 
+#include <set>
+
 #include "core/clocktree.h"
 
 namespace desyn::flow {
 
+namespace {
+
+/// An enable distribution tree extends a bank's transparency window past
+/// its root enable: the leaves open and close one insertion delay later
+/// than the controller believes. Left uncompensated, the bank's capture
+/// acknowledge releases its producers (including the environment) while
+/// leaf latches are still transparent — new data races straight into the
+/// capture — and its launch request undersells the data launch time by the
+/// same amount. This bites exactly the wide banks the partition optimizer
+/// makes first-class (a per-flip-flop producer has no tree at all, so the
+/// two insertion delays do not cancel). Compensate by delaying the bank's
+/// outgoing handshake signals (the round net under Pulse, both transition
+/// signals under the level protocols) by the insertion delay, rounded up
+/// to whole DELAY cells. Only the bank's own enable generator (and, for
+/// Pulse, its pulse-generator buffer chain) keeps the raw signals —
+/// delaying those would shift the window itself and re-create the skew.
+void compensate_enable_skew(nl::Netlist& nl, ctl::ControllerNetwork& ctrl,
+                            size_t bank, Ps insertion_delay,
+                            const cell::Tech& tech) {
+  const Ps unit = tech.delay_unit();
+  DESYN_ASSERT(unit > 0);
+  const int units = static_cast<int>((insertion_delay + unit - 1) / unit);
+  if (units <= 0) return;
+  std::set<uint32_t> keep;  // cells that must keep the raw signal
+  nl::CellId eg = nl.net(ctrl.enables[bank]).driver;
+  DESYN_ASSERT(eg.valid());
+  keep.insert(eg.value());
+  for (nl::NetId in : nl.cell(eg).ins) {
+    nl::CellId d = nl.net(in).driver;
+    while (d.valid() && nl.cell(d).kind == cell::Kind::Buf) {
+      keep.insert(d.value());
+      d = nl.net(nl.cell(d).ins[0]).driver;
+    }
+  }
+  for (nl::NetId s : {ctrl.rounds[bank], ctrl.falls[bank]}) {
+    if (!s.valid()) continue;
+    std::vector<nl::Pin> pins;  // copy: rewiring mutates the fanout list
+    for (const nl::Pin& p : nl.net(s).fanout) {
+      if (!keep.count(p.cell.value())) pins.push_back(p);
+    }
+    if (pins.empty()) continue;
+    nl::NetId tap = s;
+    for (int k = 0; k < units; ++k) {
+      nl::NetId next = nl.add_net(cat(nl.net(s).name, ".skew", k));
+      nl::CellId c = nl.add_cell(cell::Kind::Delay, "", {tap}, {next});
+      ctrl.cells.push_back(c);
+      ctrl.control_nets.push_back(next);
+      ++ctrl.delay_units;
+      tap = next;
+    }
+    for (const nl::Pin& p : pins) nl.rewire_input(p.cell, p.index, tap);
+  }
+}
+
+}  // namespace
+
 DesyncResult desynchronize(const nl::Netlist& ff_netlist, nl::NetId clock,
                            const cell::Tech& tech, const DesyncOptions& opt) {
   DESYN_ASSERT(opt.margin >= 1.0, "matched-delay margin must be >= 1");
-  DesyncResult res{ff_netlist, {}, {}, {}, -1, -1, opt.protocol};
+  DesyncResult res{ff_netlist, {}, {}, {}, {}, -1, -1, opt.protocol};
   nl::Netlist& nl = res.netlist;
 
-  res.banks = latchify(nl, clock, opt.strategy);
+  // Resolve the partition against the *input* netlist (cell ids are stable
+  // across the copy): Auto runs the MCR-guided optimizer here.
+  res.partition = make_partition(ff_netlist, clock, opt.strategy, tech,
+                                 opt.protocol, opt.margin);
+  res.banks = latchify(nl, clock, res.partition);
   AdjacencyResult adj = extract_control_graph(nl, res.banks, clock, tech,
                                               opt.margin, opt.protocol);
   res.cg = std::move(adj.cg);
@@ -41,11 +103,13 @@ DesyncResult desynchronize(const nl::Netlist& ff_netlist, nl::NetId clock,
       nl.rewire_input(c, 0, en);
     }
     // High-fanout enables get a distribution tree so no buffer stage's
-    // loaded delay approaches the pulse width (inertial swallowing).
+    // loaded delay approaches the pulse width (inertial swallowing), plus
+    // handshake-side compensation for the tree's insertion delay.
     if (nl.net(en).fanout.size() > 8) {
       ClockTree tree = build_clock_tree(nl, en, tech, 8);
       for (nl::NetId n : tree.nets) res.ctrl.control_nets.push_back(n);
       for (nl::CellId c : tree.buffers) res.ctrl.cells.push_back(c);
+      compensate_enable_skew(nl, res.ctrl, i, tree.insertion_delay, tech);
     }
   }
   nl.check();
@@ -54,27 +118,10 @@ DesyncResult desynchronize(const nl::Netlist& ff_netlist, nl::NetId clock,
 
 pn::MarkedGraph timed_control_model(const DesyncResult& r,
                                     const cell::Tech& tech) {
-  // Mirror the hardware line sizing: per-destination aggregation, response
-  // credit, quantization to whole DELAY cells (minimum one).
-  std::vector<Ps> worst(r.cg.num_banks(), 0);
-  for (const auto& e : r.cg.edges()) {
-    worst[static_cast<size_t>(e.to)] =
-        std::max(worst[static_cast<size_t>(e.to)], e.matched_delay);
-  }
-  ctl::ControlGraph q;
-  for (size_t i = 0; i < r.cg.num_banks(); ++i) {
-    q.add_bank(r.cg.bank(static_cast<int>(i)).name,
-               r.cg.bank(static_cast<int>(i)).even);
-  }
-  for (const auto& e : r.cg.edges()) {
-    q.add_edge(e.from, e.to,
-               ctl::matched_delay_cells(worst[static_cast<size_t>(e.to)],
-                                        tech) *
-                   tech.delay_unit());
-  }
-  Ps ctrl = tech.delay(cell::Kind::Inv, 1, 1) +
-            tech.delay(cell::Kind::CElem, 2, 2);
-  return ctl::hardware_mg(q, r.protocol, ctrl, r.ctrl.pulse_width);
+  // The line-sizing rules (per-destination aggregation, response credit,
+  // quantization) live in flow::timed_model, shared with the partition
+  // optimizer's scoring loop so predictions cannot drift apart.
+  return timed_model(r.cg, r.protocol, tech, r.ctrl.pulse_width);
 }
 
 }  // namespace desyn::flow

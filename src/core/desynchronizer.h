@@ -19,7 +19,11 @@
 namespace desyn::flow {
 
 struct DesyncOptions {
-  BankStrategy strategy = BankStrategy::Prefix;
+  /// How to cluster storage cells into control banks. Accepts the legacy
+  /// BankStrategy enum values implicitly (deprecated shim, one PR), a
+  /// parsed CLI spec ("prefix:2", "auto:1.05", ...) or an explicit
+  /// Partition via PartitionSpec::explicit_().
+  PartitionSpec strategy;
   /// Safety factor applied to every STA-sized matched delay; plays the role
   /// of the synchronous flow's clock-uncertainty margin.
   double margin = 1.10;
@@ -31,6 +35,7 @@ struct DesyncOptions {
 
 struct DesyncResult {
   nl::Netlist netlist;          ///< the desynchronized circuit
+  Partition partition;          ///< the storage clustering actually used
   LatchifyResult banks;         ///< cell ids valid in `netlist`
   ctl::ControlGraph cg;         ///< control graph with matched delays
   ctl::ControllerNetwork ctrl;  ///< enables/round nets in `netlist`

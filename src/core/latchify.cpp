@@ -4,33 +4,8 @@
 
 namespace desyn::flow {
 
-std::string bank_prefix(const std::string& cell_name) {
-  size_t dot = cell_name.rfind('.');
-  if (dot == std::string::npos || dot == 0) return "core";
-  return cell_name.substr(0, dot);
-}
-
-LatchifyResult latchify(nl::Netlist& nl, nl::NetId clock, BankStrategy s) {
+LatchifyResult latchify(nl::Netlist& nl, nl::NetId clock, const Partition& p) {
   LatchifyResult res;
-  std::map<std::string, int> bank_by_key;  // key -> even bank index
-
-  auto bank_pair = [&](const std::string& key) {
-    auto it = bank_by_key.find(key);
-    if (it != bank_by_key.end()) return it->second;
-    int even_idx = static_cast<int>(res.banks.size());
-    res.banks.push_back(Bank{key + ".m", true, {}, {}});
-    res.banks.push_back(Bank{key + ".s", false, {}, {}});
-    bank_by_key[key] = even_idx;
-    return even_idx;
-  };
-  auto key_for = [&](const nl::CellData& cd) -> std::string {
-    switch (s) {
-      case BankStrategy::Prefix: return bank_prefix(cd.name);
-      case BankStrategy::PerFlipFlop: return cd.name;
-      case BankStrategy::Single: return "all";
-    }
-    return "all";
-  };
 
   // Collect first: we edit the netlist as we go. Reject multi-clock designs
   // with a typed error naming every offending clock net, so callers (and
@@ -66,10 +41,17 @@ LatchifyResult latchify(nl::Netlist& nl, nl::NetId clock, BankStrategy s) {
             "'; desynchronize one clock domain at a time"),
         std::move(other_clocks));
   }
+  p.validate(nl);
+
+  // Banks in partition-group order: group g -> banks 2g (even) / 2g+1 (odd).
+  for (const PartitionGroup& g : p.groups()) {
+    res.banks.push_back(Bank{g.name + ".m", true, {}, {}});
+    res.banks.push_back(Bank{g.name + ".s", false, {}, {}});
+  }
 
   for (nl::CellId c : ffs) {
     const nl::CellData cd = nl.cell(c);  // copy: remove_cell invalidates view
-    int even_idx = bank_pair(key_for(cd));
+    int even_idx = 2 * p.group_of(c);
     nl::NetId d = cd.ins[0];
     nl::NetId q = cd.outs[0];
     cell::V init = cd.init;
@@ -89,14 +71,15 @@ LatchifyResult latchify(nl::Netlist& nl, nl::NetId clock, BankStrategy s) {
   }
 
   for (nl::CellId c : rams) {
-    // A RAM gets its own bank pair regardless of strategy. Master latches
-    // are inserted on the write-command pins (WE/WA/WD): in the synchronous
-    // reference they are transparent during the low phase and capture at the
-    // writing edge, preserving cycle equivalence; in the desynchronized
-    // circuit they hold the command stable until the write commits on the
-    // slave-side pulse (RAM CK is rewired to the odd bank's enable).
+    // A RAM owns its bank pair (the partition guarantees its group is a
+    // singleton). Master latches are inserted on the write-command pins
+    // (WE/WA/WD): in the synchronous reference they are transparent during
+    // the low phase and capture at the writing edge, preserving cycle
+    // equivalence; in the desynchronized circuit they hold the command
+    // stable until the write commits on the slave-side pulse (RAM CK is
+    // rewired to the odd bank's enable).
     const std::string name = nl.cell(c).name;
-    int even_idx = bank_pair(name);
+    int even_idx = 2 * p.group_of(c);
     const nl::CellData& cd = nl.cell(c);
     const size_t cmd_end = size_t{2} + cd.p0 + cd.p1;  // WE, WA, WD
     for (size_t pin = 1; pin < cmd_end; ++pin) {
@@ -113,6 +96,18 @@ LatchifyResult latchify(nl::Netlist& nl, nl::NetId clock, BankStrategy s) {
   }
 
   return res;
+}
+
+LatchifyResult latchify(nl::Netlist& nl, nl::NetId clock, BankStrategy s) {
+  switch (s) {
+    case BankStrategy::Prefix:
+      return latchify(nl, clock, Partition::prefix(nl));
+    case BankStrategy::PerFlipFlop:
+      return latchify(nl, clock, Partition::per_flip_flop(nl));
+    case BankStrategy::Single:
+      return latchify(nl, clock, Partition::single(nl));
+  }
+  fail("unreachable BankStrategy");
 }
 
 }  // namespace desyn::flow

@@ -10,22 +10,20 @@
 // initial value.
 //
 // Banks: latches are grouped into control banks (one controller per bank in
-// the desynchronized circuit). RAM macros get a bank pair of their own: the
-// master side owns the write port, the slave side owns the read data.
+// the desynchronized circuit). *Which* cells share a bank is the caller's
+// choice, expressed as a flow::Partition (see core/partition.h): group `g`
+// of the partition becomes bank pair (2g, 2g+1). RAM macros always own a
+// bank pair: the master side holds the write command, the slave side owns
+// the read data.
 #pragma once
 
 #include <map>
 #include <vector>
 
+#include "core/partition.h"
 #include "netlist/netlist.h"
 
 namespace desyn::flow {
-
-enum class BankStrategy {
-  Prefix,      ///< group FFs by hierarchical name prefix (up to last '.')
-  PerFlipFlop, ///< one bank pair per flip-flop (finest granularity)
-  Single,      ///< one bank pair for the whole design
-};
 
 struct Bank {
   std::string name;
@@ -55,13 +53,16 @@ class MultiClockError : public Error {
   std::vector<std::string> clocks_;
 };
 
-/// In-place conversion of every DFF in `nl` clocked by `clock`. Throws
+/// In-place conversion of every DFF in `nl` clocked by `clock`, banked by
+/// `p`: partition group `g` becomes banks 2g (masters) and 2g+1 (slaves).
+/// Pure mechanism: all policy lives in the Partition. Throws
 /// MultiClockError if any DFF or RAM is clocked by a different net
-/// (single-clock designs only, as in the paper). RAM macros clocked by
-/// `clock` are assigned their own bank pairs.
-LatchifyResult latchify(nl::Netlist& nl, nl::NetId clock, BankStrategy s);
+/// (single-clock designs only, as in the paper) and PartitionError if `p`
+/// does not cover the storage of `nl` exactly.
+LatchifyResult latchify(nl::Netlist& nl, nl::NetId clock, const Partition& p);
 
-/// Bank-name prefix of a cell name ("ifid.pc_q3" -> "ifid"; no dot -> "core").
-std::string bank_prefix(const std::string& cell_name);
+/// Deprecated enum shim (one PR): builds the strategy's Partition and
+/// forwards. Prefer latchify(nl, clock, Partition::...(nl)).
+LatchifyResult latchify(nl::Netlist& nl, nl::NetId clock, BankStrategy s);
 
 }  // namespace desyn::flow

@@ -1,0 +1,626 @@
+#include "core/partition.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/adjacency.h"
+#include "core/latchify.h"
+#include "ctl/controller.h"
+#include "netlist/builder.h"
+#include "pn/mcr.h"
+
+namespace desyn::flow {
+
+// ---------------------------------------------------------------------------
+// bank_prefix
+// ---------------------------------------------------------------------------
+
+std::string bank_prefix(const std::string& cell_name, int depth) {
+  DESYN_ASSERT(depth >= 1, "bank_prefix depth must be >= 1");
+  // Verilog escaped identifiers ('\foo.bar ') are atomic: their dots are
+  // not hierarchy separators. Same fallback as dot-free names.
+  if (!cell_name.empty() && cell_name[0] == '\\') return "core";
+  std::string_view s = cell_name;
+  for (int d = 0; d < depth; ++d) {
+    size_t dot = s.rfind('.');
+    if (dot == std::string_view::npos || dot == 0) {
+      return d == 0 ? "core" : std::string(s);
+    }
+    s = s.substr(0, dot);
+  }
+  return std::string(s);
+}
+
+// ---------------------------------------------------------------------------
+// Partition
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Live storage cells of `nl` in id order: (DFFs, RAMs).
+std::pair<std::vector<nl::CellId>, std::vector<nl::CellId>> storage_cells(
+    const nl::Netlist& nl) {
+  std::vector<nl::CellId> ffs, rams;
+  for (nl::CellId c : nl.cells()) {
+    switch (nl.cell(c).kind) {
+      case cell::Kind::Dff: ffs.push_back(c); break;
+      case cell::Kind::Ram: rams.push_back(c); break;
+      default: break;
+    }
+  }
+  return {std::move(ffs), std::move(rams)};
+}
+
+}  // namespace
+
+int Partition::group_of(nl::CellId c) const {
+  if (c.value() >= group_of_.size()) return -1;
+  return group_of_[c.value()];
+}
+
+void Partition::index() {
+  uint32_t max_id = 0;
+  for (const PartitionGroup& g : groups_) {
+    for (nl::CellId c : g.cells) max_id = std::max(max_id, c.value() + 1);
+  }
+  group_of_.assign(max_id, -1);
+  for (size_t i = 0; i < groups_.size(); ++i) {
+    for (nl::CellId c : groups_[i].cells) {
+      group_of_[c.value()] = static_cast<int>(i);
+    }
+  }
+}
+
+void Partition::canonicalize() {
+  for (PartitionGroup& g : groups_) {
+    std::sort(g.cells.begin(), g.cells.end());
+  }
+  std::stable_sort(groups_.begin(), groups_.end(),
+                   [](const PartitionGroup& a, const PartitionGroup& b) {
+                     if (a.ram != b.ram) return !a.ram;  // FF groups first
+                     // Empty groups (invalid; kept for validate() to name)
+                     // sort last so the comparison below stays total.
+                     if (a.cells.empty() || b.cells.empty()) {
+                       return !a.cells.empty() && b.cells.empty();
+                     }
+                     return a.cells.front() < b.cells.front();
+                   });
+  index();
+}
+
+void Partition::validate(const nl::Netlist& nl) const {
+  auto [ffs, rams] = storage_cells(nl);
+  std::vector<char> is_storage(nl.num_cells(), 0), is_ram(nl.num_cells(), 0);
+  for (nl::CellId c : ffs) is_storage[c.value()] = 1;
+  for (nl::CellId c : rams) is_storage[c.value()] = is_ram[c.value()] = 1;
+
+  std::vector<char> seen(nl.num_cells(), 0);
+  for (const PartitionGroup& g : groups_) {
+    if (g.cells.empty()) {
+      throw PartitionError(PartitionError::Kind::EmptyGroup,
+                           cat("partition group '", g.name, "' is empty"));
+    }
+    for (nl::CellId c : g.cells) {
+      if (c.value() >= nl.num_cells() || !is_storage[c.value()]) {
+        throw PartitionError(
+            PartitionError::Kind::ForeignCell,
+            cat("partition group '", g.name, "' contains cell ", c,
+                c.value() < nl.num_cells()
+                    ? cat(" ('", nl.cell(c).name,
+                          "') which is not a storage cell")
+                    : std::string(" which is not in the netlist")));
+      }
+      if (seen[c.value()]) {
+        throw PartitionError(PartitionError::Kind::DuplicateCell,
+                             cat("storage cell '", nl.cell(c).name,
+                                 "' appears in more than one group"));
+      }
+      seen[c.value()] = 1;
+      if (is_ram[c.value()] && g.cells.size() != 1) {
+        throw PartitionError(
+            PartitionError::Kind::MixedRamGroup,
+            cat("RAM '", nl.cell(c).name, "' shares group '", g.name,
+                "' with other storage; a RAM macro needs its own bank pair"));
+      }
+    }
+  }
+  for (nl::CellId c : ffs) {
+    if (!seen[c.value()]) {
+      throw PartitionError(PartitionError::Kind::UncoveredCell,
+                           cat("flip-flop '", nl.cell(c).name,
+                               "' is not covered by the partition"));
+    }
+  }
+  for (nl::CellId c : rams) {
+    if (!seen[c.value()]) {
+      throw PartitionError(PartitionError::Kind::UncoveredCell,
+                           cat("RAM '", nl.cell(c).name,
+                               "' is not covered by the partition"));
+    }
+  }
+}
+
+std::string Partition::describe(const nl::Netlist& nl) const {
+  std::string out = cat(groups_.size(), " groups:");
+  for (const PartitionGroup& g : groups_) {
+    out += cat(" {", g.name, ":");
+    for (nl::CellId c : g.cells) out += cat(" ", nl.cell(c).name);
+    out += "}";
+  }
+  return out;
+}
+
+Partition Partition::prefix(const nl::Netlist& nl, int depth) {
+  auto [ffs, rams] = storage_cells(nl);
+  Partition p;
+  std::map<std::string, size_t> by_key;
+  for (nl::CellId c : ffs) {
+    std::string key = bank_prefix(nl.cell(c).name, depth);
+    auto [it, inserted] = by_key.try_emplace(key, p.groups_.size());
+    if (inserted) p.groups_.push_back(PartitionGroup{std::move(key), {}, false});
+    p.groups_[it->second].cells.push_back(c);
+  }
+  for (nl::CellId c : rams) {
+    p.groups_.push_back(PartitionGroup{nl.cell(c).name, {c}, true});
+  }
+  p.canonicalize();
+  return p;
+}
+
+Partition Partition::per_flip_flop(const nl::Netlist& nl) {
+  auto [ffs, rams] = storage_cells(nl);
+  Partition p;
+  for (nl::CellId c : ffs) {
+    p.groups_.push_back(PartitionGroup{nl.cell(c).name, {c}, false});
+  }
+  for (nl::CellId c : rams) {
+    p.groups_.push_back(PartitionGroup{nl.cell(c).name, {c}, true});
+  }
+  p.canonicalize();
+  return p;
+}
+
+Partition Partition::single(const nl::Netlist& nl) {
+  auto [ffs, rams] = storage_cells(nl);
+  Partition p;
+  if (!ffs.empty()) {
+    p.groups_.push_back(PartitionGroup{"all", std::move(ffs), false});
+  }
+  for (nl::CellId c : rams) {
+    p.groups_.push_back(PartitionGroup{nl.cell(c).name, {c}, true});
+  }
+  p.canonicalize();
+  return p;
+}
+
+Partition Partition::from_groups(const nl::Netlist& nl,
+                                 std::vector<std::vector<nl::CellId>> groups) {
+  Partition p;
+  for (auto& g : groups) {
+    p.groups_.push_back(PartitionGroup{"", std::move(g), false});
+  }
+  // Mark listed RAM singletons; RAMs not listed get their own groups.
+  std::set<uint32_t> listed;
+  for (PartitionGroup& g : p.groups_) {
+    for (nl::CellId c : g.cells) {
+      listed.insert(c.value());
+      if (c.value() < nl.num_cells() && nl.is_live(c) &&
+          nl.cell(c).kind == cell::Kind::Ram) {
+        g.ram = g.cells.size() == 1;  // a mixed group stays !ram and is
+                                      // rejected by validate() below
+      }
+    }
+  }
+  auto [ffs, rams] = storage_cells(nl);
+  (void)ffs;
+  for (nl::CellId c : rams) {
+    if (!listed.count(c.value())) {
+      p.groups_.push_back(PartitionGroup{nl.cell(c).name, {c}, true});
+    }
+  }
+  p.canonicalize();
+  // Names after canonical order so they are deterministic: member name for
+  // singletons (matches the per-flip-flop strategy), g<i> for clusters.
+  for (size_t i = 0; i < p.groups_.size(); ++i) {
+    PartitionGroup& g = p.groups_[i];
+    if (g.cells.size() == 1 && g.cells[0].value() < nl.num_cells() &&
+        nl.is_live(g.cells[0])) {
+      g.name = nl.cell(g.cells[0]).name;
+    } else {
+      g.name = cat("g", i);
+    }
+  }
+  p.validate(nl);
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// PartitionSpec
+// ---------------------------------------------------------------------------
+
+PartitionSpec PartitionSpec::parse(std::string_view s) {
+  PartitionSpec spec;
+  auto arg_of = [&](std::string_view head) -> std::optional<std::string_view> {
+    if (s == head) return std::nullopt;
+    if (starts_with(s, std::string(head) + ":")) {
+      return s.substr(head.size() + 1);
+    }
+    fail("unknown bank strategy '", s,
+         "' (expected prefix[:N]|perff|single|auto[:B])");
+  };
+  if (s == "perff") {
+    spec.mode = Mode::PerFlipFlop;
+  } else if (s == "single") {
+    spec.mode = Mode::Single;
+  } else if (starts_with(s, "prefix")) {
+    spec.mode = Mode::Prefix;
+    if (auto a = arg_of("prefix")) {
+      try {
+        size_t used = 0;
+        int d = std::stoi(std::string(*a), &used);
+        if (used != a->size() || d < 1 || d > 16) fail("");
+        spec.prefix_depth = d;
+      } catch (...) {
+        fail("malformed prefix depth '", *a, "' (need an integer in [1, 16])");
+      }
+    }
+  } else if (starts_with(s, "auto")) {
+    spec.mode = Mode::Auto;
+    if (auto a = arg_of("auto")) {
+      try {
+        size_t used = 0;
+        double b = std::stod(std::string(*a), &used);
+        if (used != a->size() || !(b >= 1.0) || !(b <= 100.0)) fail("");
+        spec.auto_budget = b;
+      } catch (...) {
+        fail("malformed auto budget '", *a, "' (need a number in [1, 100])");
+      }
+    }
+  } else {
+    fail("unknown bank strategy '", s,
+         "' (expected prefix[:N]|perff|single|auto[:B])");
+  }
+  return spec;
+}
+
+std::string PartitionSpec::label() const {
+  switch (mode) {
+    case Mode::Prefix:
+      return prefix_depth == 1 ? "prefix" : cat("prefix:", prefix_depth);
+    case Mode::PerFlipFlop: return "perff";
+    case Mode::Single: return "single";
+    case Mode::Auto: return cat("auto:", auto_budget);
+    case Mode::Explicit: return "explicit";
+  }
+  return "?";
+}
+
+Partition make_partition(const nl::Netlist& ff_netlist, nl::NetId clock,
+                         const PartitionSpec& spec, const cell::Tech& tech,
+                         ctl::Protocol protocol, double margin) {
+  switch (spec.mode) {
+    case PartitionSpec::Mode::Prefix:
+      return Partition::prefix(ff_netlist, spec.prefix_depth);
+    case PartitionSpec::Mode::PerFlipFlop:
+      return Partition::per_flip_flop(ff_netlist);
+    case PartitionSpec::Mode::Single:
+      return Partition::single(ff_netlist);
+    case PartitionSpec::Mode::Auto: {
+      PartitionOptOptions opt;
+      opt.period_budget = spec.auto_budget;
+      opt.margin = margin;
+      opt.protocol = protocol;
+      return optimize_partition(ff_netlist, clock, tech, opt).partition;
+    }
+    case PartitionSpec::Mode::Explicit:
+      DESYN_ASSERT(spec.partition.has_value(),
+                   "explicit PartitionSpec without a partition");
+      return *spec.partition;
+  }
+  fail("unreachable PartitionSpec mode");
+}
+
+// ---------------------------------------------------------------------------
+// Scoring: the shared timed model
+// ---------------------------------------------------------------------------
+
+pn::MarkedGraph timed_model(const ctl::ControlGraph& cg, ctl::Protocol p,
+                            const cell::Tech& tech, Ps pulse_width) {
+  // Mirror the hardware line sizing: per-destination aggregation, response
+  // credit, quantization to whole DELAY cells (minimum one).
+  std::vector<Ps> worst(cg.num_banks(), 0);
+  for (const auto& e : cg.edges()) {
+    worst[static_cast<size_t>(e.to)] =
+        std::max(worst[static_cast<size_t>(e.to)], e.matched_delay);
+  }
+  ctl::ControlGraph q;
+  for (size_t i = 0; i < cg.num_banks(); ++i) {
+    q.add_bank(cg.bank(static_cast<int>(i)).name,
+               cg.bank(static_cast<int>(i)).even);
+  }
+  for (const auto& e : cg.edges()) {
+    q.add_edge(e.from, e.to,
+               ctl::matched_delay_cells(worst[static_cast<size_t>(e.to)],
+                                        tech) *
+                   tech.delay_unit());
+  }
+  Ps ctrl = tech.delay(cell::Kind::Inv, 1, 1) +
+            tech.delay(cell::Kind::CElem, 2, 2);
+  return ctl::hardware_mg(q, p, ctrl, pulse_width);
+}
+
+double predicted_period(const ctl::ControlGraph& cg, ctl::Protocol protocol,
+                        const cell::Tech& tech) {
+  // Every synthesis backend sizes the minimum transparency / pulse width
+  // as three buffer delays (ctl::synthesize_controllers); use the same
+  // constant so scores match flow::timed_control_model exactly.
+  const Ps pulse_width = 3 * tech.spec(cell::Kind::Buf).delay;
+  return pn::max_cycle_ratio(timed_model(cg, protocol, tech, pulse_width))
+      .ratio;
+}
+
+// ---------------------------------------------------------------------------
+// optimize_partition
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// splitmix64 finalizer for deterministic candidate tie-breaking.
+uint64_t mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Total controller + matched-delay cell count the real synthesis would
+/// spend on `cg` — counted by running it against a scratch netlist, so the
+/// optimizer's cost can never drift from the hardware.
+size_t synthesis_cost(const ctl::ControlGraph& cg, ctl::Protocol p,
+                      const cell::Tech& tech) {
+  nl::Netlist scratch("cost_model");
+  nl::Builder b(scratch);
+  return ctl::synthesize_controllers(b, cg, p, tech).cells.size();
+}
+
+}  // namespace
+
+PartitionOptResult optimize_partition(const nl::Netlist& ff_netlist,
+                                      nl::NetId clock, const cell::Tech& tech,
+                                      const PartitionOptOptions& opt) {
+  DESYN_ASSERT(opt.period_budget >= 1.0,
+               "period budget must be >= 1 (it multiplies the baseline)");
+  PartitionOptResult res;
+  const Partition perff = Partition::per_flip_flop(ff_netlist);
+  const size_t G = perff.num_groups();
+  if (G == 0) {
+    res.partition = perff;
+    return res;
+  }
+
+  // One STA pass: the per-flip-flop control graph. Every candidate
+  // clustering's graph is a quotient of this one (arrivals are max-plus,
+  // so the merged edge delay is exactly the max over member edges) — the
+  // optimizer never re-runs timing.
+  nl::Netlist latched = ff_netlist;
+  const LatchifyResult lr = latchify(latched, clock, perff);
+  const AdjacencyResult fine = extract_control_graph(
+      latched, lr, clock, tech, opt.margin, opt.protocol);
+  DESYN_ASSERT(fine.env_snk == static_cast<int>(2 * G) &&
+               fine.env_src == static_cast<int>(2 * G) + 1);
+
+  res.perff_period = predicted_period(fine.cg, opt.protocol, tech);
+  res.perff_cost = synthesis_cost(fine.cg, opt.protocol, tech);
+  {
+    nl::Netlist l2 = ff_netlist;
+    const LatchifyResult lr2 = latchify(l2, clock, Partition::prefix(ff_netlist));
+    res.baseline_period = predicted_period(
+        extract_control_graph(l2, lr2, clock, tech, opt.margin, opt.protocol)
+            .cg,
+        opt.protocol, tech);
+  }
+  // Coarsening only adds rendezvous, so merged periods are never below the
+  // per-flip-flop start; measuring the budget against the larger of the
+  // two baselines keeps the limit reachable.
+  const double limit =
+      opt.period_budget * std::max(res.baseline_period, res.perff_period);
+
+  // Clustering state over fine groups. A cluster's label is the smallest
+  // fine-group index it ever contained; labels are stable across merges,
+  // which keeps the tie-break hash and the tried-set deterministic.
+  std::vector<int> cluster(G);
+  std::vector<std::vector<int>> members(G);
+  std::vector<char> mergeable(G);
+  for (size_t g = 0; g < G; ++g) {
+    cluster[g] = static_cast<int>(g);
+    members[g] = {static_cast<int>(g)};
+    mergeable[g] = perff.groups()[g].ram ? 0 : 1;
+  }
+
+  // Quotient of the fine graph under the current clustering, optionally
+  // with one tentative merge (drop -> keep) or one tentative single-group
+  // move (fine group move_g joins cluster move_to) applied.
+  auto build_quotient = [&](int keep, int drop, int move_g, int move_to) {
+    std::vector<int> cl(G);
+    for (size_t g = 0; g < G; ++g) {
+      int c = cluster[g];
+      if (c == drop) c = keep;
+      cl[g] = c;
+    }
+    if (move_g >= 0) cl[static_cast<size_t>(move_g)] = move_to;
+    std::vector<int> qidx(G, -1);
+    std::vector<ctl::ControlGraph::Bank> banks;
+    int nq = 0;
+    for (size_t g = 0; g < G; ++g) {
+      if (qidx[static_cast<size_t>(cl[g])] < 0) {
+        qidx[static_cast<size_t>(cl[g])] = nq++;
+        banks.push_back({cat("q", nq - 1, ".m"), true});
+        banks.push_back({cat("q", nq - 1, ".s"), false});
+      }
+    }
+    banks.push_back({"env_snk", true});
+    banks.push_back({"env_src", false});
+    std::vector<int> bank_map(fine.cg.num_banks());
+    for (size_t g = 0; g < G; ++g) {
+      bank_map[2 * g] = 2 * qidx[static_cast<size_t>(cl[g])];
+      bank_map[2 * g + 1] = 2 * qidx[static_cast<size_t>(cl[g])] + 1;
+    }
+    bank_map[static_cast<size_t>(fine.env_snk)] = 2 * nq;
+    bank_map[static_cast<size_t>(fine.env_src)] = 2 * nq + 1;
+    return quotient_control_graph(fine.cg, bank_map, banks);
+  };
+  auto eval_period = [&](const ctl::ControlGraph& q) {
+    ++res.evaluations;
+    return predicted_period(q, opt.protocol, tech);
+  };
+  // Cluster of a fine bank; -1 for the environment pair.
+  auto cluster_of_bank = [&](int bank) {
+    return bank >= static_cast<int>(2 * G) ? -1 : cluster[static_cast<size_t>(bank) / 2];
+  };
+
+  // ---- greedy merge phase -------------------------------------------------
+  // Candidates are cluster pairs that are adjacent or share a neighbour in
+  // the current quotient, ranked by how many edges (and so delay lines)
+  // the merge collapses. A candidate whose merged period busts the budget
+  // is discarded permanently: any later state is coarser, and coarsening
+  // is monotone in the predicted period.
+  std::set<std::pair<int, int>> tried;
+  const double eps = 1e-6;
+  for (;;) {
+    if (opt.max_merges && res.merges >= static_cast<int>(opt.max_merges)) break;
+    // Score by co-occurrence: +1 per direct edge, +1 per shared
+    // predecessor node, +1 per shared successor node.
+    std::map<std::pair<int, int>, int> score;
+    std::map<int, std::vector<int>> succs_of, preds_of;  // quotient node ->
+    auto node_of = [&](int bank) {
+      int c = cluster_of_bank(bank);
+      if (c < 0) return -1 - (bank - static_cast<int>(2 * G));  // env nodes
+      return 2 * c + (bank & 1);
+    };
+    for (const auto& e : fine.cg.edges()) {
+      int cf = cluster_of_bank(e.from), ct = cluster_of_bank(e.to);
+      if (cf >= 0 && ct >= 0 && cf != ct && mergeable[static_cast<size_t>(cf)] &&
+          mergeable[static_cast<size_t>(ct)]) {
+        score[{std::min(cf, ct), std::max(cf, ct)}] += 1;
+      }
+      if (ct >= 0 && mergeable[static_cast<size_t>(ct)]) {
+        succs_of[node_of(e.from)].push_back(ct);
+      }
+      if (cf >= 0 && mergeable[static_cast<size_t>(cf)]) {
+        preds_of[node_of(e.to)].push_back(cf);
+      }
+    }
+    for (auto* side : {&succs_of, &preds_of}) {
+      for (auto& [node, v] : *side) {
+        (void)node;
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+        for (size_t i = 0; i < v.size(); ++i) {
+          for (size_t j = i + 1; j < v.size(); ++j) {
+            score[{v[i], v[j]}] += 1;
+          }
+        }
+      }
+    }
+    struct Cand {
+      int a, b, s;
+      uint64_t h;
+    };
+    std::vector<Cand> cands;
+    for (const auto& [pair, s] : score) {
+      if (tried.count(pair)) continue;
+      cands.push_back({pair.first, pair.second, s,
+                       mix(opt.seed ^ (static_cast<uint64_t>(
+                                           static_cast<uint32_t>(pair.first))
+                                           << 32 |
+                                       static_cast<uint32_t>(pair.second)))});
+    }
+    if (cands.empty()) break;
+    std::sort(cands.begin(), cands.end(), [](const Cand& x, const Cand& y) {
+      if (x.s != y.s) return x.s > y.s;
+      if (x.h != y.h) return x.h < y.h;
+      return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+    });
+    bool committed = false;
+    for (const Cand& c : cands) {
+      double p = eval_period(build_quotient(c.a, c.b, -1, -1));
+      if (p <= limit + eps) {
+        for (int g : members[static_cast<size_t>(c.b)]) cluster[static_cast<size_t>(g)] = c.a;
+        auto& win = members[static_cast<size_t>(c.a)];
+        auto& lose = members[static_cast<size_t>(c.b)];
+        win.insert(win.end(), lose.begin(), lose.end());
+        std::sort(win.begin(), win.end());
+        lose.clear();
+        ++res.merges;
+        committed = true;
+        break;
+      }
+      tried.insert({c.a, c.b});
+    }
+    if (!committed) break;
+  }
+
+  // ---- refinement phase ---------------------------------------------------
+  // Single-cell moves between adjacent clusters that strictly reduce the
+  // synthesized gate cost while staying inside the budget. One pass, in
+  // fine-group order: bounded and deterministic.
+  if (opt.refine) {
+    size_t cur_cost =
+        synthesis_cost(build_quotient(-1, -1, -1, -1), opt.protocol, tech);
+    for (size_t g = 0; g < G; ++g) {
+      int c = cluster[g];
+      if (!mergeable[static_cast<size_t>(c)] ||
+          members[static_cast<size_t>(c)].size() < 2) {
+        continue;
+      }
+      std::vector<int> targets;
+      for (const auto& e : fine.cg.edges()) {
+        for (int bank : {e.from, e.to}) {
+          if (bank / 2 != static_cast<int>(g) ||
+              bank >= static_cast<int>(2 * G)) {
+            continue;
+          }
+          int other = cluster_of_bank(bank == e.from ? e.to : e.from);
+          if (other >= 0 && other != c && mergeable[static_cast<size_t>(other)]) {
+            targets.push_back(other);
+          }
+        }
+      }
+      std::sort(targets.begin(), targets.end());
+      targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+      for (int t : targets) {
+        ctl::ControlGraph q = build_quotient(-1, -1, static_cast<int>(g), t);
+        if (eval_period(q) > limit + eps) continue;
+        size_t cost = synthesis_cost(q, opt.protocol, tech);
+        if (cost >= cur_cost) continue;
+        auto& from = members[static_cast<size_t>(c)];
+        from.erase(std::find(from.begin(), from.end(), static_cast<int>(g)));
+        members[static_cast<size_t>(t)].push_back(static_cast<int>(g));
+        std::sort(members[static_cast<size_t>(t)].begin(),
+                  members[static_cast<size_t>(t)].end());
+        cluster[g] = t;
+        cur_cost = cost;
+        ++res.moves;
+        break;
+      }
+    }
+  }
+
+  // ---- wrap up ------------------------------------------------------------
+  std::vector<std::vector<nl::CellId>> out;
+  for (size_t c = 0; c < G; ++c) {
+    if (members[c].empty() || !mergeable[c]) continue;  // RAMs auto-append
+    std::vector<nl::CellId> cells;
+    for (int g : members[c]) {
+      cells.push_back(perff.groups()[static_cast<size_t>(g)].cells[0]);
+    }
+    out.push_back(std::move(cells));
+  }
+  res.partition = Partition::from_groups(ff_netlist, std::move(out));
+  ctl::ControlGraph final_q = build_quotient(-1, -1, -1, -1);
+  res.period = predicted_period(final_q, opt.protocol, tech);
+  res.cost = synthesis_cost(final_q, opt.protocol, tech);
+  return res;
+}
+
+}  // namespace desyn::flow

@@ -1,0 +1,243 @@
+// First-class bank partitioning: the assignment of storage cells (DFFs and
+// RAM macros) of a synchronous netlist to control-bank pairs.
+//
+// The paper fixes one controller per register bank but leaves the *choice*
+// of banks open — it is the central area/throughput knob of
+// de-synchronization: coarse banks share controllers and matched-delay
+// lines (cheap, slow — every member waits for the slowest input), fine
+// banks handshake independently (fast, expensive). This header turns that
+// choice from a hardwired enum into data:
+//
+//   * `Partition` — an explicit, validated, canonically-ordered clustering
+//     of the storage cells. Constructors cover the three classic
+//     strategies (prefix / per-flip-flop / single) plus `from_groups()`
+//     for arbitrary user- or tool-supplied clusterings.
+//   * `PartitionSpec` — the *recipe* for a partition as it travels through
+//     options structs and CLI flags ("prefix:2", "auto:1.05", ...).
+//   * `optimize_partition()` — an MCR-guided greedy clustering search:
+//     start from per-flip-flop, merge banks while the predicted period
+//     (Howard max-cycle-ratio of the timed control model) stays within a
+//     user budget of the Prefix baseline, minimizing controller +
+//     matched-delay gate cost.
+//
+// Group invariants (enforced by validate()):
+//   * every group is non-empty,
+//   * every member is a storage cell (DFF or RAM) of the netlist, exactly
+//     once across all groups, and every storage cell is covered,
+//   * a RAM macro is always the *sole* member of its group — its
+//     master/slave bank pair owns the write port and the read data and
+//     cannot be shared (RAM bank-pair integrity).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cell/tech.h"
+#include "ctl/protocol.h"
+#include "netlist/netlist.h"
+
+namespace desyn::flow {
+
+/// Legacy three-value strategy knob. Deprecated: construct a `Partition`
+/// (or a `PartitionSpec`) instead; kept for one PR as a thin shim —
+/// `PartitionSpec` converts implicitly from it.
+enum class BankStrategy {
+  Prefix,      ///< group FFs by hierarchical name prefix (up to last '.')
+  PerFlipFlop, ///< one bank pair per flip-flop (finest granularity)
+  Single,      ///< one bank pair for the whole design
+};
+
+/// Thrown when a partition fails validation. `kind()` says how, so tests
+/// and tools can react to the specific defect rather than string-matching.
+class PartitionError : public Error {
+ public:
+  enum class Kind {
+    EmptyGroup,    ///< a group with no members
+    ForeignCell,   ///< a member that is not a storage cell of the netlist
+    DuplicateCell, ///< a storage cell listed in two groups (or twice)
+    UncoveredCell, ///< a storage cell of the netlist missing from the partition
+    MixedRamGroup, ///< a RAM macro sharing a group with other storage
+  };
+  PartitionError(Kind kind, const std::string& what)
+      : Error(what), kind_(kind) {}
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+struct PartitionGroup {
+  std::string name;                ///< bank-pair base name ("<name>.m/.s")
+  std::vector<nl::CellId> cells;   ///< member storage cells, sorted by id
+  bool ram = false;                ///< singleton RAM group
+};
+
+/// An explicit storage-cell clustering. Group `g` becomes bank pair
+/// (2g, 2g+1) of the latchified netlist: 2g the even (master) bank, 2g+1
+/// the odd (slave) bank. Canonical order: FF groups by smallest member
+/// cell id, then RAM groups by cell id — the order the legacy strategies
+/// produced, so bank indices stay stable across the refactor.
+class Partition {
+ public:
+  Partition() = default;
+
+  /// Group FFs by hierarchical name prefix (see bank_prefix()); every RAM
+  /// gets its own group. `depth` = number of trailing '.'-segments
+  /// stripped (depth 1 is the classic "up to the last dot" grouping).
+  static Partition prefix(const nl::Netlist& nl, int depth = 1);
+  /// One group per flip-flop and per RAM — the finest granularity.
+  static Partition per_flip_flop(const nl::Netlist& nl);
+  /// All FFs in one group ("all"); RAMs still get their own groups.
+  static Partition single(const nl::Netlist& nl);
+  /// Arbitrary clustering of the *flip-flops*: `groups` lists DFF cell
+  /// ids; RAM singleton groups are appended automatically. Validates and
+  /// canonicalizes; throws PartitionError on any invariant violation.
+  static Partition from_groups(const nl::Netlist& nl,
+                               std::vector<std::vector<nl::CellId>> groups);
+
+  const std::vector<PartitionGroup>& groups() const { return groups_; }
+  size_t num_groups() const { return groups_.size(); }
+  /// Group index of storage cell `c`; -1 if not a member.
+  int group_of(nl::CellId c) const;
+
+  /// Check every invariant against `nl` (see the header comment); throws
+  /// PartitionError naming the offending group/cell. The single-clock
+  /// requirement is checked by latchify() (MultiClockError), which sees
+  /// the clock net.
+  void validate(const nl::Netlist& nl) const;
+
+  /// Sort groups into canonical order (FF groups by smallest member id,
+  /// then RAM groups) and members by id. All constructors return
+  /// canonical partitions; call after editing groups() by hand.
+  void canonicalize();
+
+  /// "12 groups: {s0: s0.a s0.b} {s1: ...}" — deterministic, for tests
+  /// and debug output.
+  std::string describe(const nl::Netlist& nl) const;
+
+  friend bool operator==(const Partition& a, const Partition& b) {
+    return a.groups_ == b.groups_;
+  }
+
+ private:
+  void index();  ///< rebuild the cell -> group map
+  std::vector<PartitionGroup> groups_;
+  std::vector<int> group_of_;  ///< dense by cell id; -1 = not a member
+};
+
+inline bool operator==(const PartitionGroup& a, const PartitionGroup& b) {
+  return a.name == b.name && a.cells == b.cells && a.ram == b.ram;
+}
+
+/// Bank-name prefix of a cell name: the name with its last `depth`
+/// '.'-segments stripped ("ifid.pc_q3" -> "ifid"; "st3.d.r0" with depth 2
+/// -> "st3"). Names with no hierarchy left — no dot, a leading dot, or a
+/// Verilog escaped identifier (leading backslash, where dots are not
+/// hierarchy separators) — fall back to "core" uniformly.
+std::string bank_prefix(const std::string& cell_name, int depth = 1);
+
+/// The partition *recipe* carried by DesyncOptions and the CLI: how to
+/// build the Partition once the netlist (and, for Auto, the timing model)
+/// is at hand. Implicitly convertible from the legacy BankStrategy enum
+/// so existing call sites keep compiling for one PR.
+struct PartitionSpec {
+  enum class Mode { Prefix, PerFlipFlop, Single, Auto, Explicit };
+  Mode mode = Mode::Prefix;
+  int prefix_depth = 1;    ///< Mode::Prefix: segments stripped
+  double auto_budget = 1.05;  ///< Mode::Auto: allowed predicted-period
+                              ///< ratio over the Prefix baseline
+  /// Mode::Explicit: the partition itself (cell ids of the FF netlist).
+  std::optional<Partition> partition;
+
+  PartitionSpec() = default;
+  PartitionSpec(BankStrategy s) {  // NOLINT(google-explicit-constructor)
+    switch (s) {
+      case BankStrategy::Prefix: mode = Mode::Prefix; break;
+      case BankStrategy::PerFlipFlop: mode = Mode::PerFlipFlop; break;
+      case BankStrategy::Single: mode = Mode::Single; break;
+    }
+  }
+  static PartitionSpec explicit_(Partition p) {
+    PartitionSpec s;
+    s.mode = Mode::Explicit;
+    s.partition = std::move(p);
+    return s;
+  }
+
+  /// Parse a CLI strategy: "prefix", "prefix:N", "perff", "single",
+  /// "auto", "auto:B" (B = period budget, e.g. 1.05). Throws Error.
+  static PartitionSpec parse(std::string_view s);
+  /// The canonical CLI name back ("prefix:2", "auto:1.05", "explicit").
+  std::string label() const;
+};
+
+/// Materialize `spec` for `ff_netlist`. Mode::Auto runs
+/// optimize_partition() with `protocol`/`margin` (the knobs that shape the
+/// control graph being scored); the other modes ignore tech entirely.
+Partition make_partition(const nl::Netlist& ff_netlist, nl::NetId clock,
+                         const PartitionSpec& spec, const cell::Tech& tech,
+                         ctl::Protocol protocol, double margin);
+
+// ---------------------------------------------------------------------------
+// The MCR-guided clustering optimizer
+// ---------------------------------------------------------------------------
+
+struct PartitionOptOptions {
+  /// Allowed predicted-period degradation: the optimized partition's
+  /// predicted period must stay <= budget * (Prefix baseline period).
+  double period_budget = 1.05;
+  double margin = 1.10;  ///< matched-delay margin (mirrors DesyncOptions)
+  ctl::Protocol protocol = ctl::Protocol::Pulse;
+  /// Tie-break seed: candidates with equal savings are ordered by a
+  /// seeded hash. The search is fully deterministic for a fixed seed.
+  uint64_t seed = 1;
+  /// Upper bound on merge rounds (0 = unlimited); a safety valve for
+  /// interactive use on very large designs.
+  size_t max_merges = 0;
+  /// Run the post-merge refinement pass (single-cell moves between
+  /// adjacent groups that further reduce gate cost within budget).
+  bool refine = true;
+};
+
+struct PartitionOptResult {
+  Partition partition;        ///< the optimized clustering
+  double perff_period = 0;    ///< predicted period of the PerFlipFlop start
+  double baseline_period = 0; ///< predicted period of the Prefix baseline
+  double period = 0;          ///< predicted period of `partition`
+  size_t perff_cost = 0;      ///< controller+delay cells of the start
+  size_t cost = 0;            ///< controller+delay cells of `partition`
+  int merges = 0;             ///< committed group merges
+  int moves = 0;              ///< committed refinement moves
+  size_t evaluations = 0;     ///< MCR evaluations spent
+};
+
+/// Search for a cheap partition of `ff_netlist` whose predicted period
+/// stays within `opt.period_budget` of the Prefix baseline. Greedy
+/// agglomerative: start from per-flip-flop, score candidate merges by the
+/// Howard max-cycle-ratio of the candidate's timed control model —
+/// rebuilt incrementally as a quotient of the per-flip-flop control graph,
+/// so only the merged banks' rows change and no re-timing (STA) is ever
+/// needed — and by controller + matched-delay gate cost, computed by the
+/// real controller synthesis on the candidate control graph. Coarsening
+/// only adds rendezvous, so the predicted period is monotone in merging;
+/// a candidate that busts the budget once is discarded permanently.
+/// Deterministic for a fixed seed.
+PartitionOptResult optimize_partition(const nl::Netlist& ff_netlist,
+                                      nl::NetId clock, const cell::Tech& tech,
+                                      const PartitionOptOptions& opt = {});
+
+/// The timed protocol model of a control graph with hardware line sizing
+/// (per-destination aggregation, response credit, quantization to whole
+/// DELAY cells): the shared core of flow::timed_control_model and the
+/// optimizer's scoring loop.
+pn::MarkedGraph timed_model(const ctl::ControlGraph& cg, ctl::Protocol p,
+                            const cell::Tech& tech, Ps pulse_width);
+
+/// Predicted cycle time of a control graph under `protocol`: timed_model
+/// with the synthesis' pulse width, solved by Howard max-cycle-ratio. The
+/// single scoring rule shared by the flow and the optimizer.
+double predicted_period(const ctl::ControlGraph& cg, ctl::Protocol protocol,
+                        const cell::Tech& tech);
+
+}  // namespace desyn::flow

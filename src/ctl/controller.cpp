@@ -88,6 +88,7 @@ ControllerNetwork synthesize_pulse(nl::Builder& b, const ControlGraph& cg,
   for (size_t i = 0; i < cg.num_banks(); ++i) {
     nl::NetId r = nl.add_net(cat("ctl.", cg.bank(static_cast<int>(i)).name, ".r"));
     net.rounds.push_back(r);
+    net.falls.push_back(nl::NetId::invalid());  // R plays both roles
     net.control_nets.push_back(r);
   }
 
@@ -199,6 +200,7 @@ ControllerNetwork synthesize_level(nl::Builder& b, const ControlGraph& cg,
     s[i][1] = nl.add_net(cat("ctl.", bname, ".tp"));
     s[i][0] = nl.add_net(cat("ctl.", bname, ".tm"));
     net.rounds.push_back(s[i][1]);
+    net.falls.push_back(s[i][0]);
     net.control_nets.push_back(s[i][1]);
     net.control_nets.push_back(s[i][0]);
   }

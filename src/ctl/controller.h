@@ -58,6 +58,11 @@ struct ControllerNetwork {
   /// Per bank: the 2-phase token net — the round C-element output for
   /// Pulse, the a+ transition signal for the level protocols.
   std::vector<nl::NetId> rounds;
+  /// Per bank, level protocols only: the a- transition signal (the capture
+  /// acknowledge). Invalid ids under Pulse, whose single round net plays
+  /// both roles. The flow uses rounds/falls to compensate enable-tree
+  /// insertion delay on wide banks (see core/desynchronizer.cpp).
+  std::vector<nl::NetId> falls;
   std::vector<nl::NetId> control_nets;  ///< every net the synthesis created
   std::vector<nl::CellId> cells;        ///< every cell the synthesis created
   size_t delay_units = 0;               ///< total DELAY cells inserted

@@ -51,14 +51,18 @@ int ControlGraph::add_edge(int from, int to, Ps matched_delay) {
                "control edge must connect banks of opposite parity: ",
                banks_[static_cast<size_t>(from)].name, " -> ",
                banks_[static_cast<size_t>(to)].name);
-  for (size_t i = 0; i < edges_.size(); ++i) {
-    if (edges_[i].from == from && edges_[i].to == to) {
-      edges_[i].matched_delay = std::max(edges_[i].matched_delay, matched_delay);
-      return static_cast<int>(i);
-    }
+  const uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(from))
+                        << 32) |
+                       static_cast<uint32_t>(to);
+  auto [it, inserted] =
+      edge_index_.try_emplace(key, static_cast<int>(edges_.size()));
+  if (!inserted) {
+    Edge& e = edges_[static_cast<size_t>(it->second)];
+    e.matched_delay = std::max(e.matched_delay, matched_delay);
+    return it->second;
   }
   edges_.push_back(Edge{from, to, matched_delay});
-  return static_cast<int>(edges_.size()) - 1;
+  return it->second;
 }
 
 std::vector<int> ControlGraph::preds(int bank) const {

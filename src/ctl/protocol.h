@@ -31,6 +31,7 @@
 
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "pn/petri.h"
@@ -97,6 +98,9 @@ class ControlGraph {
  private:
   std::vector<Bank> banks_;
   std::vector<Edge> edges_;
+  /// (from << 32 | to) -> index into edges_: keeps add_edge O(1) so graph
+  /// construction stays linear even for the optimizer's quotient rebuilds.
+  std::unordered_map<uint64_t, int> edge_index_;
 };
 
 /// Transition pair of one bank in a protocol MG.

@@ -97,6 +97,9 @@ FlowEqResult check_flow_equivalence(const nl::Netlist& ff_netlist,
     flow::DesyncResult dr =
         flow::desynchronize(ff_netlist, clock, tech, opt.desync);
     res.desync_cells = dr.netlist.num_live_cells();
+    res.banks = dr.cg.num_banks();
+    res.controller_cells = dr.ctrl.cells.size() - dr.ctrl.delay_units;
+    res.delay_cells = dr.ctrl.delay_units;
     res.predicted_period =
         pn::max_cycle_ratio(flow::timed_control_model(dr, tech)).ratio;
     sim::Simulator sim(dr.netlist, tech);
@@ -110,29 +113,42 @@ FlowEqResult check_flow_equivalence(const nl::Netlist& ff_netlist,
     for (size_t i = 0; i < dr.banks.banks.size(); ++i) {
       const flow::Bank& bank = dr.banks.banks[i];
       if (!bank.even || bank.latches.empty()) continue;
-      std::vector<Tap> taps;
+      // Group taps by the latch's actual EN net: high-fanout enables get a
+      // buffered distribution tree, so the latch captures at its *leaf*
+      // enable, insertion-delay after the bank root — on a wide bank the D
+      // pin can legitimately change in between (mirrors the sync side's
+      // per-clock-leaf sampling).
+      std::map<uint32_t, std::vector<Tap>> by_en;
       for (nl::CellId c : bank.latches) {
         std::string name = dr.netlist.cell(c).name;
         // FF masters are named "<ff>.m"; other even-bank latches (RAM
         // write-port holds, "<ram>.m_p<i>") have no FF counterpart.
         if (name.size() <= 2 || name.substr(name.size() - 2) != ".m") continue;
-        taps.push_back(Tap{name.substr(0, name.size() - 2),
-                           dr.netlist.cell(c).ins[0]});
+        by_en[dr.netlist.cell(c).ins[1].value()].push_back(
+            Tap{name.substr(0, name.size() - 2), dr.netlist.cell(c).ins[0]});
       }
-      if (taps.empty()) continue;
+      if (by_en.empty()) continue;
       ++master_banks;
       bool first_bank = master_banks == 1;
+      // Round accounting and progress detection stay on the bank root (one
+      // event per capture, before any tree delay).
       sim.watch(dr.enable(static_cast<int>(i)),
-                [&sim, &desync_stream, &captures, &bank_captures, i,
-                 &round_times, first_bank, taps](Ps at, V v) {
+                [&captures, &bank_captures, i, &round_times,
+                 first_bank](Ps at, V v) {
                   if (v != V::V0) return;
-                  for (const Tap& t : taps) {
-                    desync_stream[t.name].push_back(sim.value(t.d));
-                  }
                   ++captures;
                   ++bank_captures[i];
                   if (first_bank) round_times.push_back(at);
                 });
+      for (auto& [en, taps] : by_en) {
+        sim.watch(nl::NetId(en),
+                  [&sim, &desync_stream, taps](Ps, V v) {
+                    if (v != V::V0) return;
+                    for (const Tap& t : taps) {
+                      desync_stream[t.name].push_back(sim.value(t.d));
+                    }
+                  });
+      }
     }
     min_needed = master_banks * static_cast<uint64_t>(rounds + 1);
 
@@ -168,6 +184,9 @@ FlowEqResult check_flow_equivalence(const nl::Netlist& ff_netlist,
         return res;
       }
     }
+    // Flush: the leaf-enable captures of the last round trail the root
+    // event by the distribution tree's insertion delay.
+    sim.run_until(sim.now() + 100'000);
     res.desync_setup_violations = sim.setup_violation_count();
     if (round_times.size() >= 2) {
       res.desync_period =

@@ -49,6 +49,13 @@ struct FlowEqResult {
   /// matched-delay lines) — the sweep reports these per cell.
   size_t sync_cells = 0;
   size_t desync_cells = 0;
+  /// Partition stats of the desynchronized implementation: control banks
+  /// (incl. the environment pair), controller logic cells (C-elements,
+  /// inverters, enable gates, ...) and matched-delay DELAY cells — the
+  /// disjoint split of the control network the strategy sweep compares.
+  size_t banks = 0;
+  size_t controller_cells = 0;
+  size_t delay_cells = 0;
   double sync_power_mw = 0;      ///< total dynamic power (measured window)
   double desync_power_mw = 0;
   double sync_clock_power_mw = 0;   ///< clock-tree share

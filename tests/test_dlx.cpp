@@ -217,7 +217,8 @@ TEST(DlxDesync, SingleClockInvariantHoldsAfterLatchify) {
   }
   // latchify (the function that throws MultiClockError) accepts it, and
   // afterwards every storage control pin is still the one clock.
-  flow::LatchifyResult lr = flow::latchify(nl, clk, flow::BankStrategy::Prefix);
+  flow::LatchifyResult lr =
+      flow::latchify(nl, clk, flow::Partition::prefix(nl));
   EXPECT_FALSE(lr.banks.empty());
   for (nl::CellId c : nl.cells()) {
     const nl::CellData& cd = nl.cell(c);

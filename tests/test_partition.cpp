@@ -1,0 +1,408 @@
+#include "core/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "circuits/circuits.h"
+#include "core/desynchronizer.h"
+#include "dlx/cpu_builder.h"
+#include "dlx/programs.h"
+#include "netlist/builder.h"
+#include "pn/mcr.h"
+#include "verif/flow_equivalence.h"
+
+namespace desyn::flow {
+namespace {
+
+using cell::Kind;
+using cell::Tech;
+using cell::V;
+using nl::Builder;
+using nl::Netlist;
+using nl::NetId;
+
+/// 3-stage pipeline with hierarchical names (same shape as test_flow's).
+Netlist pipeline3(NetId* clock_out) {
+  Netlist nl("pipe3");
+  Builder b(nl);
+  NetId clk = b.input("clk");
+  NetId d0 = b.input("din0");
+  NetId d1 = b.input("din1");
+  NetId q0a = b.dff(d0, clk, V::V0, "s0.a");
+  NetId q0b = b.dff(d1, clk, V::V0, "s0.b");
+  NetId x1 = b.xor_(q0a, q0b);
+  NetId q1 = b.dff(x1, clk, V::V0, "s1.a");
+  NetId q1b = b.dff(q0b, clk, V::V1, "s1.b");
+  NetId x2 = b.and_({b.inv(q1), q1b});
+  NetId q2 = b.dff(x2, clk, V::V0, "s2.a");
+  b.output(q2);
+  *clock_out = clk;
+  return nl;
+}
+
+/// A small design with one RAM macro (for the RAM-integrity tests).
+Netlist ram_design(NetId* clock_out) {
+  Netlist nl("ramd");
+  Builder b(nl);
+  NetId clk = b.input("clk");
+  NetId din = b.input("din");
+  std::vector<NetId> wa(2);
+  for (int i = 0; i < 2; ++i) wa[i] = nl.add_net(cat("adr.q", i));
+  NetId carry = b.hi();
+  for (int i = 0; i < 2; ++i) {
+    NetId sum = b.xor_(wa[i], carry);
+    carry = b.and_({wa[i], carry});
+    nl.add_cell(Kind::Dff, cat("adr.r", i), {sum, clk}, {wa[i]}, V::V0);
+  }
+  std::vector<NetId> wd = {din, b.inv(din)};
+  std::vector<NetId> ra = {b.inv(wa[0]), wa[1]};
+  auto rd = b.ram(clk, b.hi(), wa, wd, ra, 2, "mem");
+  NetId q = b.dff(b.xor_(rd[0], rd[1]), clk, V::V0, "out.r");
+  b.output(q);
+  *clock_out = clk;
+  return nl;
+}
+
+std::vector<nl::CellId> dffs_of(const Netlist& nl) {
+  std::vector<nl::CellId> out;
+  for (nl::CellId c : nl.cells()) {
+    if (nl.cell(c).kind == Kind::Dff) out.push_back(c);
+  }
+  return out;
+}
+
+TEST(BankPrefix, DepthAndFallbacks) {
+  EXPECT_EQ(bank_prefix("ifid.pc_q3"), "ifid");
+  EXPECT_EQ(bank_prefix("st3.d.r0"), "st3.d");
+  EXPECT_EQ(bank_prefix("st3.d.r0", 2), "st3");
+  EXPECT_EQ(bank_prefix("a.b.c.d", 2), "a.b");
+  // Depth beyond the hierarchy keeps at least the first segment.
+  EXPECT_EQ(bank_prefix("a.b", 5), "a");
+  EXPECT_EQ(bank_prefix("flat"), "core");
+  EXPECT_EQ(bank_prefix("flat", 3), "core");
+  EXPECT_EQ(bank_prefix(".odd"), "core");
+  // Verilog escaped identifiers are atomic: dots are not hierarchy.
+  EXPECT_EQ(bank_prefix("\\weird.name"), "core");
+  EXPECT_EQ(bank_prefix("\\weird.name", 2), "core");
+}
+
+TEST(Partition, ConstructorsMatchLegacyStrategies) {
+  NetId clk;
+  Netlist nl = pipeline3(&clk);
+  Partition pfx = Partition::prefix(nl);
+  EXPECT_EQ(pfx.num_groups(), 3u);  // s0, s1, s2
+  EXPECT_EQ(pfx.groups()[0].name, "s0");
+  EXPECT_EQ(pfx.groups()[0].cells.size(), 2u);
+  Partition perff = Partition::per_flip_flop(nl);
+  EXPECT_EQ(perff.num_groups(), 5u);
+  Partition single = Partition::single(nl);
+  ASSERT_EQ(single.num_groups(), 1u);
+  EXPECT_EQ(single.groups()[0].name, "all");
+  EXPECT_EQ(single.groups()[0].cells.size(), 5u);
+
+  // The enum shim builds the same banks as the explicit partition.
+  Netlist via_enum = nl, via_part = nl;
+  LatchifyResult a = latchify(via_enum, clk, BankStrategy::Prefix);
+  LatchifyResult b = latchify(via_part, clk, pfx);
+  ASSERT_EQ(a.banks.size(), b.banks.size());
+  for (size_t i = 0; i < a.banks.size(); ++i) {
+    EXPECT_EQ(a.banks[i].name, b.banks[i].name);
+    EXPECT_EQ(a.banks[i].even, b.banks[i].even);
+    EXPECT_EQ(a.banks[i].latches.size(), b.banks[i].latches.size());
+  }
+}
+
+TEST(Partition, PrefixDepthCoarsens) {
+  Netlist nl("deep");
+  Builder b(nl);
+  NetId clk = b.input("clk");
+  NetId d = b.input("d");
+  NetId q1 = b.dff(d, clk, V::V0, "u0.a.r0");
+  NetId q2 = b.dff(q1, clk, V::V0, "u0.a.r1");
+  NetId q3 = b.dff(q2, clk, V::V0, "u0.b.r0");
+  NetId q4 = b.dff(q3, clk, V::V0, "u1.a.r0");
+  b.output(q4);
+  EXPECT_EQ(Partition::prefix(nl, 1).num_groups(), 3u);  // u0.a u0.b u1.a
+  Partition d2 = Partition::prefix(nl, 2);
+  EXPECT_EQ(d2.num_groups(), 2u);  // u0, u1
+  EXPECT_EQ(d2.groups()[0].name, "u0");
+  EXPECT_EQ(d2.groups()[0].cells.size(), 3u);
+}
+
+TEST(Partition, RejectsEmptyGroup) {
+  NetId clk;
+  Netlist nl = pipeline3(&clk);
+  auto ffs = dffs_of(nl);
+  try {
+    Partition::from_groups(nl, {{ffs[0], ffs[1], ffs[2], ffs[3], ffs[4]}, {}});
+    FAIL() << "expected PartitionError";
+  } catch (const PartitionError& e) {
+    EXPECT_EQ(e.kind(), PartitionError::Kind::EmptyGroup);
+  }
+}
+
+TEST(Partition, RejectsForeignCell) {
+  NetId clk;
+  Netlist nl = pipeline3(&clk);
+  auto ffs = dffs_of(nl);
+  // A combinational cell id is not a storage cell.
+  nl::CellId foreign;
+  for (nl::CellId c : nl.cells()) {
+    if (nl.cell(c).kind == Kind::Xor) foreign = c;
+  }
+  ASSERT_TRUE(foreign.valid());
+  std::vector<std::vector<nl::CellId>> groups = {
+      {ffs[0], ffs[1], ffs[2], ffs[3], ffs[4], foreign}};
+  try {
+    Partition::from_groups(nl, groups);
+    FAIL() << "expected PartitionError";
+  } catch (const PartitionError& e) {
+    EXPECT_EQ(e.kind(), PartitionError::Kind::ForeignCell);
+  }
+  // So is an id from another netlist entirely (out of range).
+  groups = {{ffs[0], ffs[1], ffs[2], ffs[3], ffs[4],
+             nl::CellId(static_cast<uint32_t>(nl.num_cells()) + 7)}};
+  try {
+    Partition::from_groups(nl, groups);
+    FAIL() << "expected PartitionError";
+  } catch (const PartitionError& e) {
+    EXPECT_EQ(e.kind(), PartitionError::Kind::ForeignCell);
+  }
+}
+
+TEST(Partition, RejectsDuplicateAndUncovered) {
+  NetId clk;
+  Netlist nl = pipeline3(&clk);
+  auto ffs = dffs_of(nl);
+  try {
+    Partition::from_groups(nl, {{ffs[0], ffs[1]}, {ffs[1], ffs[2], ffs[3], ffs[4]}});
+    FAIL() << "expected PartitionError";
+  } catch (const PartitionError& e) {
+    EXPECT_EQ(e.kind(), PartitionError::Kind::DuplicateCell);
+  }
+  try {
+    Partition::from_groups(nl, {{ffs[0], ffs[1], ffs[2], ffs[3]}});  // ffs[4] missing
+    FAIL() << "expected PartitionError";
+  } catch (const PartitionError& e) {
+    EXPECT_EQ(e.kind(), PartitionError::Kind::UncoveredCell);
+  }
+}
+
+TEST(Partition, RejectsSplitRamPair) {
+  NetId clk;
+  Netlist nl = ram_design(&clk);
+  auto ffs = dffs_of(nl);
+  nl::CellId ram;
+  for (nl::CellId c : nl.cells()) {
+    if (nl.cell(c).kind == Kind::Ram) ram = c;
+  }
+  ASSERT_TRUE(ram.valid());
+  // Grouping the RAM with flip-flops would split its bank pair's
+  // write-port/read-data ownership across unrelated storage.
+  std::vector<std::vector<nl::CellId>> groups = {{ffs.begin(), ffs.end()}};
+  groups[0].push_back(ram);
+  try {
+    Partition::from_groups(nl, groups);
+    FAIL() << "expected PartitionError";
+  } catch (const PartitionError& e) {
+    EXPECT_EQ(e.kind(), PartitionError::Kind::MixedRamGroup);
+  }
+  // Listed alone it is fine, and equals the auto-appended form.
+  Partition listed = Partition::from_groups(
+      nl, {{ffs.begin(), ffs.end()}, {ram}});
+  Partition implied = Partition::from_groups(nl, {{ffs.begin(), ffs.end()}});
+  EXPECT_EQ(listed, implied);
+  EXPECT_TRUE(listed.groups().back().ram);
+}
+
+TEST(Partition, ExplicitPartitionDrivesTheWholeFlow) {
+  NetId clk;
+  Netlist nl = pipeline3(&clk);
+  auto ffs = dffs_of(nl);
+  // A deliberately odd clustering: {s0.a, s1.b, s2.a} + {s0.b, s1.a}.
+  Partition p = Partition::from_groups(
+      nl, {{ffs[0], ffs[3], ffs[4]}, {ffs[1], ffs[2]}});
+  verif::FlowEqOptions opt;
+  opt.rounds = 25;
+  opt.desync.strategy = PartitionSpec::explicit_(p);
+  auto res = verif::check_flow_equivalence(nl, clk, verif::random_stimulus(11),
+                                           Tech::generic90(), opt);
+  EXPECT_TRUE(res.equivalent) << res.mismatch;
+  EXPECT_EQ(res.desync_setup_violations, 0u);
+  EXPECT_EQ(res.banks, 6u);  // 2 groups + env pair
+}
+
+TEST(Partition, CoarsePartitionWithRamStaysEquivalentEveryProtocol) {
+  // Merging every FF into one bank around a RAM exercises the RAM
+  // read-before-write and command-stability ordering edges over merged
+  // banks — the riskiest quotient case.
+  NetId clk;
+  Netlist nl = ram_design(&clk);
+  Partition p = Partition::from_groups(nl, {dffs_of(nl)});
+  for (ctl::Protocol proto : ctl::kAllProtocols) {
+    verif::FlowEqOptions opt;
+    opt.rounds = 20;
+    opt.desync.protocol = proto;
+    opt.desync.strategy = PartitionSpec::explicit_(p);
+    auto res = verif::check_flow_equivalence(
+        nl, clk, verif::random_stimulus(23), Tech::generic90(), opt);
+    EXPECT_TRUE(res.equivalent)
+        << ctl::protocol_name(proto) << ": " << res.mismatch;
+    EXPECT_EQ(res.desync_setup_violations, 0u) << ctl::protocol_name(proto);
+  }
+}
+
+TEST(PartitionSpec, ParseAndLabelRoundTrip) {
+  EXPECT_EQ(PartitionSpec::parse("prefix").label(), "prefix");
+  EXPECT_EQ(PartitionSpec::parse("prefix:3").label(), "prefix:3");
+  EXPECT_EQ(PartitionSpec::parse("perff").label(), "perff");
+  EXPECT_EQ(PartitionSpec::parse("single").label(), "single");
+  EXPECT_EQ(PartitionSpec::parse("auto").label(), "auto:1.05");
+  EXPECT_EQ(PartitionSpec::parse("auto:1.2").label(), "auto:1.2");
+  EXPECT_EQ(PartitionSpec::parse("auto:1.2").mode, PartitionSpec::Mode::Auto);
+  EXPECT_DOUBLE_EQ(PartitionSpec::parse("auto:1.2").auto_budget, 1.2);
+  EXPECT_EQ(PartitionSpec::parse("prefix:2").prefix_depth, 2);
+  EXPECT_THROW(PartitionSpec::parse("bogus"), Error);
+  EXPECT_THROW(PartitionSpec::parse("prefix:0"), Error);
+  EXPECT_THROW(PartitionSpec::parse("prefix:x"), Error);
+  EXPECT_THROW(PartitionSpec::parse("auto:0.5"), Error);
+  EXPECT_THROW(PartitionSpec::parse("auto:"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Property: seeded random valid partitions stay flow-equivalent with zero
+// setup violations, across all four protocols, on suite circuits.
+// ---------------------------------------------------------------------------
+
+/// Deterministic random grouping of the DFFs of `nl` into ~`target` groups.
+Partition random_partition(const Netlist& nl, uint64_t seed, size_t target) {
+  auto ffs = dffs_of(nl);
+  Rng rng(seed);
+  // Deterministic shuffle (Fisher-Yates with the project Rng).
+  for (size_t i = ffs.size(); i > 1; --i) {
+    std::swap(ffs[i - 1], ffs[static_cast<size_t>(rng.below(i))]);
+  }
+  target = std::max<size_t>(1, std::min(target, ffs.size()));
+  std::vector<std::vector<nl::CellId>> groups(target);
+  for (size_t i = 0; i < ffs.size(); ++i) {
+    groups[rng.below(target)].push_back(ffs[i]);
+  }
+  groups.erase(std::remove_if(groups.begin(), groups.end(),
+                              [](const auto& g) { return g.empty(); }),
+               groups.end());
+  return Partition::from_groups(nl, groups);
+}
+
+class RandomPartitionFlowEq
+    : public ::testing::TestWithParam<std::tuple<ctl::Protocol, const char*>> {
+};
+
+TEST_P(RandomPartitionFlowEq, SeededRandomPartitionsStayEquivalent) {
+  auto [proto, name] = GetParam();
+  circuits::Circuit circ{Netlist("none"), NetId()};
+  for (circuits::Suite& s : circuits::scaling_suite()) {
+    if (s.name == name) circ = std::move(s.circuit);
+  }
+  ASSERT_TRUE(circ.clock.valid()) << name;
+  for (uint64_t seed : {3u, 17u}) {
+    Partition p = random_partition(circ.netlist, seed, 5);
+    verif::FlowEqOptions opt;
+    opt.rounds = 12;
+    opt.desync.protocol = proto;
+    opt.desync.strategy = PartitionSpec::explicit_(p);
+    auto res = verif::check_flow_equivalence(circ.netlist, circ.clock,
+                                             verif::random_stimulus(seed + 1),
+                                             Tech::generic90(), opt);
+    EXPECT_TRUE(res.equivalent)
+        << name << " seed " << seed << ": " << res.mismatch;
+    EXPECT_EQ(res.desync_setup_violations, 0u) << name << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProtocolsByCircuits, RandomPartitionFlowEq,
+    ::testing::Combine(::testing::ValuesIn(ctl::kAllProtocols),
+                       ::testing::Values("pipe4x8", "lfsr16", "counters4x8")),
+    [](const ::testing::TestParamInfo<std::tuple<ctl::Protocol, const char*>>&
+           info) {
+      std::string n = ctl::protocol_name(std::get<0>(info.param));
+      n.erase(std::remove(n.begin(), n.end(), '-'), n.end());
+      return n + "_" + std::get<1>(info.param);
+    });
+
+// ---------------------------------------------------------------------------
+// The MCR-guided optimizer: acceptance on the large designs.
+// ---------------------------------------------------------------------------
+
+void expect_optimized(const Netlist& nl, NetId clk, const char* what) {
+  const Tech& tech = Tech::generic90();
+  PartitionOptOptions opt;
+  opt.period_budget = 1.05;
+  opt.protocol = ctl::Protocol::SemiDecoupled;
+  PartitionOptResult r = optimize_partition(nl, clk, tech, opt);
+  // Measurably cheaper than per-flip-flop...
+  EXPECT_LT(r.cost, r.perff_cost / 2) << what;
+  EXPECT_GT(r.merges, 0) << what;
+  // ...within the stated budget of the Prefix baseline.
+  EXPECT_LE(r.period,
+            1.05 * std::max(r.baseline_period, r.perff_period) + 1e-6)
+      << what;
+  // Deterministic: a second run yields the identical partition.
+  PartitionOptResult r2 = optimize_partition(nl, clk, tech, opt);
+  EXPECT_TRUE(r.partition == r2.partition) << what;
+  EXPECT_EQ(r.evaluations, r2.evaluations) << what;
+
+  // The optimized partition drives the real flow and stays flow-equivalent
+  // under every protocol, with zero setup violations.
+  for (ctl::Protocol proto : ctl::kAllProtocols) {
+    verif::FlowEqOptions feq;
+    feq.rounds = 10;
+    feq.desync.protocol = proto;
+    feq.desync.strategy = PartitionSpec::explicit_(r.partition);
+    auto res = verif::check_flow_equivalence(
+        nl, clk, verif::random_stimulus(5), tech, feq);
+    EXPECT_TRUE(res.equivalent)
+        << what << " under " << ctl::protocol_name(proto) << ": "
+        << res.mismatch;
+    EXPECT_EQ(res.desync_setup_violations, 0u)
+        << what << " under " << ctl::protocol_name(proto);
+  }
+}
+
+TEST(Optimizer, BeatsPerFlipFlopWithinBudgetOnRpipe32x8) {
+  circuits::Circuit c = circuits::random_pipeline(7, 32, 8);
+  expect_optimized(c.netlist, c.clock, "rpipe32x8");
+}
+
+TEST(Optimizer, BeatsPerFlipFlopWithinBudgetOnMesh6x6x2) {
+  circuits::Circuit c = circuits::register_mesh(6, 6, 2);
+  expect_optimized(c.netlist, c.clock, "mesh6x6x2");
+}
+
+TEST(Optimizer, BeatsPerFlipFlopWithinBudgetOnDlx) {
+  dlx::DlxConfig cfg;
+  cfg.regs = 8;  // compact config keeps the double simulations quick
+  cfg.imem_bits = 7;
+  cfg.dmem_bits = 5;
+  Netlist nl("dlx");
+  dlx::build_dlx(nl, cfg, dlx::fibonacci_program(6));
+  expect_optimized(nl, nl.find_net("clk"), "dlx");
+}
+
+TEST(Optimizer, AutoSpecResolvesInsideDesynchronize) {
+  circuits::Circuit c = circuits::register_mesh(6, 6, 2);
+  DesyncOptions opt;
+  opt.strategy = PartitionSpec::parse("auto:1.05");
+  opt.protocol = ctl::Protocol::SemiDecoupled;
+  DesyncResult dr =
+      desynchronize(c.netlist, c.clock, Tech::generic90(), opt);
+  // The optimizer collapses the 72 per-cell banks to a handful.
+  EXPECT_LT(dr.partition.num_groups(), 36u);
+  EXPECT_EQ(dr.cg.num_banks(), 2 * dr.partition.num_groups() + 2);
+  dr.netlist.check();
+}
+
+}  // namespace
+}  // namespace desyn::flow
