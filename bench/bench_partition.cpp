@@ -1,14 +1,29 @@
-// Partition-strategy Pareto study: controller + matched-delay gate cost
-// versus predicted cycle time across bank partitioning strategies, on the
-// three large acceptance designs (the DLX case study, rpipe32x8 and
-// mesh6x6x2). The MCR-guided optimizer (auto:B) should dominate the fixed
-// strategies: fewer control cells than per-flip-flop at a predicted period
-// within B of the Prefix baseline. Results are recorded in docs/PERF.md.
+// Partition-strategy Pareto study and optimizer-scaling benchmark:
+// controller + matched-delay gate cost versus predicted cycle time across
+// bank partitioning strategies, on the acceptance designs (the DLX case
+// study, rpipe32x8, mesh6x6x2) *and* the large fabrics the incremental
+// optimizer unlocked (mesh16x16x1, mesh32x32x1, rpipe1024x4 — thousands
+// of per-flip-flop control transitions). The MCR-guided optimizer
+// (auto:B) should dominate the fixed strategies: fewer control cells than
+// per-flip-flop at a predicted period within B of the Prefix baseline.
+// Results are recorded in docs/PERF.md.
 //
 // Cost reported is the real synthesized control network (controller logic
 // + DELAY cells, ctl::synthesize_controllers output), not an estimate;
 // predicted periods are Howard max-cycle-ratio of the timed control model.
+// auto:* rows additionally report the optimizer's scaling counters
+// (candidates / pruned / warm / cold solves) and wall time.
+//
+//   bench_partition [--only d1,d2] [--strategies s1,s2] [--opt-jobs N]
+//                   [--json <path>] [--budget-ms M]
+//
+// --only filters the design list by name; --budget-ms M makes the bench
+// exit nonzero if any auto:* case exceeds M wall milliseconds — the CI
+// regression gate for the optimizer's scaling.
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -28,9 +43,16 @@ struct Design {
   nl::NetId clock;
 };
 
-std::vector<Design> designs() {
+std::vector<Design> designs(const std::vector<std::string>& only) {
+  auto wanted = [&](const std::string& n) {
+    if (only.empty()) return true;
+    for (const std::string& o : only) {
+      if (o == n) return true;
+    }
+    return false;
+  };
   std::vector<Design> out;
-  {
+  if (wanted("dlx")) {
     dlx::DlxConfig cfg;
     nl::Netlist nl("dlx");
     dlx::build_dlx(nl, cfg, dlx::fibonacci_program(8));
@@ -38,43 +60,184 @@ std::vector<Design> designs() {
     out.push_back({"dlx", std::move(nl), clk});
   }
   for (circuits::Suite& s : circuits::scaling_suite()) {
-    if (s.name == "rpipe32x8" || s.name == "mesh6x6x2") {
+    if ((s.name == "rpipe32x8" || s.name == "mesh6x6x2") && wanted(s.name)) {
       out.push_back({s.name, std::move(s.circuit.netlist), s.circuit.clock});
+    }
+  }
+  struct Gen {
+    const char* name;
+    circuits::Circuit (*make)();
+  };
+  const Gen large[] = {
+      {"mesh16x16x1", [] { return circuits::register_mesh(16, 16, 1); }},
+      {"mesh32x32x1", [] { return circuits::register_mesh(32, 32, 1); }},
+      {"rpipe1024x4", [] { return circuits::random_pipeline(13, 1024, 4); }},
+  };
+  for (const Gen& g : large) {
+    if (!wanted(g.name)) continue;
+    circuits::Circuit c = g.make();
+    out.push_back({g.name, std::move(c.netlist), c.clock});
+  }
+  return out;
+}
+
+struct Case {
+  std::string design;
+  std::string strategy;
+  size_t banks = 0;
+  size_t cells = 0;      ///< synthesized controller + matched-delay cells
+  double predicted = 0;  ///< predicted period (ps)
+  double vs_prefix = 0;
+  double wall_ms = 0;
+  bool is_auto = false;
+  flow::OptimizeStats stats;  ///< auto rows only
+  int merges = 0, moves = 0;
+};
+
+std::vector<std::string> split_list(const std::string& list) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : list + ",") {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
     }
   }
   return out;
 }
 
+void write_json(const std::string& path, const std::vector<Case>& cases,
+                int opt_jobs) {
+  std::ofstream out(path);
+  if (!out) fail("cannot write ", path);
+  char buf[128];
+  out << "{\n  \"schema\": \"desyn-bench-v1\",\n"
+      << "  \"bench\": \"bench_partition\",\n"
+      << "  \"opt_jobs\": " << opt_jobs << ",\n  \"cases\": [\n";
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const Case& c = cases[i];
+    out << "    {\"design\": \"" << c.design << "\", \"strategy\": \""
+        << c.strategy << "\", \"banks\": " << c.banks
+        << ", \"cells\": " << c.cells << ",";
+    std::snprintf(buf, sizeof buf,
+                  " \"predicted_ps\": %.6f, \"vs_prefix\": %.4f, "
+                  "\"wall_ms\": %.3f",
+                  c.predicted, c.vs_prefix, c.wall_ms);
+    out << buf;
+    if (c.is_auto) {
+      out << ",\n     \"candidates\": " << c.stats.candidates
+          << ", \"pruned\": " << c.stats.pruned
+          << ", \"warm_solves\": " << c.stats.warm_solves
+          << ", \"cold_solves\": " << c.stats.cold_solves
+          << ", \"waves\": " << c.stats.waves << ", \"merges\": " << c.merges
+          << ", \"moves\": " << c.moves;
+    }
+    out << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::vector<std::string> only;
+  std::vector<std::string> strategies = {"prefix",    "perff",     "single",
+                                         "auto:1.02", "auto:1.05", "auto:1.2"};
+  std::string json_path;
+  int opt_jobs = 1;
+  double budget_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto need = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) fail(flag, " needs a value");
+      return argv[++i];
+    };
+    if (a == "--only") {
+      only = split_list(need("--only"));
+    } else if (a == "--strategies") {
+      strategies = split_list(need("--strategies"));
+    } else if (a == "--json") {
+      json_path = need("--json");
+    } else if (a == "--opt-jobs") {
+      opt_jobs = std::stoi(need("--opt-jobs"));
+    } else if (a == "--budget-ms") {
+      budget_ms = std::stod(need("--budget-ms"));
+    } else {
+      fail("unknown option '", a, "'");
+    }
+  }
+
   const cell::Tech& tech = cell::Tech::generic90();
   const ctl::Protocol protocol = ctl::Protocol::SemiDecoupled;
-  const char* strategies[] = {"prefix",    "perff",     "single",
-                              "auto:1.02", "auto:1.05", "auto:1.2"};
 
   std::printf(
       "Partition Pareto (protocol %s): control cells vs predicted period\n\n",
       ctl::protocol_name(protocol));
-  std::printf("%-10s %-10s %6s %10s %11s %10s\n", "design", "strategy",
-              "banks", "ctl+delay", "pred(ps)", "vs prefix");
-  for (Design& d : designs()) {
+  std::printf("%-12s %-10s %6s %10s %11s %10s %10s  %s\n", "design",
+              "strategy", "banks", "ctl+delay", "pred(ps)", "vs prefix",
+              "wall(ms)", "optimizer (cand/pruned/warm/cold)");
+  std::vector<Case> cases;
+  bool over_budget = false;
+  for (Design& d : designs(only)) {
     double prefix_period = 0;
-    for (const char* strat : strategies) {
+    for (const std::string& strat : strategies) {
+      Case c;
+      c.design = d.name;
+      c.strategy = strat;
       flow::DesyncOptions opt;
       opt.strategy = flow::PartitionSpec::parse(strat);
       opt.protocol = protocol;
+      opt.opt_jobs = opt_jobs;
+      c.is_auto = opt.strategy.mode == flow::PartitionSpec::Mode::Auto;
+      auto t0 = std::chrono::steady_clock::now();
+      if (c.is_auto) {
+        // Run the optimizer directly so its scaling counters are
+        // reportable, then drive the flow with the resulting partition.
+        flow::PartitionOptOptions popt;
+        popt.period_budget = opt.strategy.auto_budget;
+        popt.protocol = protocol;
+        popt.jobs = opt_jobs;
+        flow::PartitionOptResult r =
+            flow::optimize_partition(d.netlist, d.clock, tech, popt);
+        c.stats = r.stats;
+        c.merges = r.merges;
+        c.moves = r.moves;
+        opt.strategy = flow::PartitionSpec::explicit_(std::move(r.partition));
+      }
       flow::DesyncResult dr =
           flow::desynchronize(d.netlist, d.clock, tech, opt);
-      double pred =
+      c.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+      c.banks = dr.cg.num_banks();
+      c.cells = dr.ctrl.cells.size();
+      c.predicted =
           pn::max_cycle_ratio(flow::timed_control_model(dr, tech)).ratio;
-      if (std::string(strat) == "prefix") prefix_period = pred;
-      std::printf("%-10s %-10s %6zu %10zu %11.0f %9.2fx\n", d.name.c_str(),
-                  strat, dr.cg.num_banks(),
-                  dr.ctrl.cells.size(), pred,
-                  prefix_period > 0 ? pred / prefix_period : 0.0);
+      if (strat == "prefix") prefix_period = c.predicted;
+      c.vs_prefix = prefix_period > 0 ? c.predicted / prefix_period : 0.0;
+      if (c.is_auto && budget_ms > 0 && c.wall_ms > budget_ms) {
+        over_budget = true;
+      }
+      char optbuf[96] = "";
+      if (c.is_auto) {
+        std::snprintf(optbuf, sizeof optbuf, "%zu/%zu/%zu/%zu",
+                      c.stats.candidates, c.stats.pruned, c.stats.warm_solves,
+                      c.stats.cold_solves);
+      }
+      std::printf("%-12s %-10s %6zu %10zu %11.0f %9.2fx %10.1f  %s\n",
+                  d.name.c_str(), strat.c_str(), c.banks, c.cells, c.predicted,
+                  c.vs_prefix, c.wall_ms, optbuf);
+      cases.push_back(std::move(c));
     }
     std::printf("\n");
+  }
+  if (!json_path.empty()) write_json(json_path, cases, opt_jobs);
+  if (over_budget) {
+    std::printf("FAIL: an auto:* case exceeded the %.0f ms wall budget\n",
+                budget_ms);
+    return 1;
   }
   return 0;
 }

@@ -3,7 +3,7 @@
 // Single-design mode:
 //
 //   desyn_cli <input.v> <clock-net> <output.v> [margin] [strategy]
-//             [--protocol lockstep|semi|fully|pulse]
+//             [--protocol lockstep|semi|fully|pulse] [--opt-jobs N]
 //
 // Reads a structural-Verilog FF netlist (the subset write_verilog emits),
 // desynchronizes it under the chosen handshake protocol, writes the
@@ -11,13 +11,15 @@
 // cycle-time prediction. `strategy` is one of prefix[:N]|perff|single|
 // auto[:B] (default prefix): prefix:N strips N trailing name segments,
 // auto:B runs the MCR-guided partition optimizer with period budget B.
+// --opt-jobs N scores the optimizer's candidate waves on N threads — the
+// result is byte-identical for any N (deterministic reduction).
 //
 // Sweep mode — the circuit x strategy x protocol x margin study over the
 // built-in circuit suite:
 //
 //   desyn_cli sweep [--margins 1.0,1.1,1.3] [--protocol <p>|all]
 //                   [--strategies prefix,perff,single,auto:1.05]
-//                   [--rounds N] [--full-suite] [--jobs N]
+//                   [--rounds N] [--full-suite] [--jobs N] [--opt-jobs N]
 //                   [--json <path>] [--stable]
 //
 // For every combination the tool desynchronizes the circuit, predicts the
@@ -205,6 +207,7 @@ int run_sweep(int argc, char** argv) {
   std::vector<flow::PartitionSpec> strategies = {flow::PartitionSpec{}};
   int rounds = 25;
   int jobs = 1;
+  int opt_jobs = 1;
   bool full_suite = false;
   bool stable = false;
   std::string json_path;
@@ -225,6 +228,8 @@ int run_sweep(int argc, char** argv) {
       rounds = parse_count(need_value("--rounds"), "--rounds value");
     } else if (a == "--jobs") {
       jobs = parse_count(need_value("--jobs"), "--jobs value");
+    } else if (a == "--opt-jobs") {
+      opt_jobs = parse_count(need_value("--opt-jobs"), "--opt-jobs value");
     } else if (a == "--json") {
       json_path = need_value("--json");
     } else if (a == "--stable") {
@@ -281,6 +286,7 @@ int run_sweep(int argc, char** argv) {
       opt.desync.strategy = strategies[c.strategy_idx];
       opt.desync.margin = c.margin;
       opt.desync.protocol = c.protocol;
+      opt.desync.opt_jobs = opt_jobs;
       try {
         c.res = verif::check_flow_equivalence(
             s.circuit.netlist, s.circuit.clock, verif::random_stimulus(17),
@@ -332,14 +338,19 @@ int run_sweep(int argc, char** argv) {
 }
 
 int run_single(int argc, char** argv) {
-  // Positional arguments with an optional --protocol anywhere after them.
+  // Positional arguments with optional --protocol/--opt-jobs anywhere
+  // after them.
   std::vector<std::string> pos;
   ctl::Protocol protocol = ctl::Protocol::Pulse;
+  int opt_jobs = 1;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     if (a == "--protocol") {
       if (i + 1 >= argc) fail("--protocol needs a value");
       protocol = ctl::parse_protocol(argv[++i]);
+    } else if (a == "--opt-jobs") {
+      if (i + 1 >= argc) fail("--opt-jobs needs a value");
+      opt_jobs = parse_count(argv[++i], "--opt-jobs value");
     } else {
       pos.push_back(a);
     }
@@ -348,12 +359,12 @@ int run_single(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: desyn_cli <input.v> <clock-net> <output.v> [margin] "
                  "[prefix[:N]|perff|single|auto[:B]] "
-                 "[--protocol lockstep|semi|fully|pulse]\n"
+                 "[--protocol lockstep|semi|fully|pulse] [--opt-jobs N]\n"
                  "       desyn_cli sweep [--margins 1.0,1.1,1.3] "
                  "[--protocol <p>|all] "
                  "[--strategies prefix,perff,single,auto:1.05]\n"
                  "                 [--rounds N] [--full-suite] [--jobs N] "
-                 "[--json <path>] [--stable]\n");
+                 "[--opt-jobs N] [--json <path>] [--stable]\n");
     return 2;
   }
   std::ifstream in(pos[0]);
@@ -366,6 +377,7 @@ int run_single(int argc, char** argv) {
 
   flow::DesyncOptions opt;
   opt.protocol = protocol;
+  opt.opt_jobs = opt_jobs;
   if (pos.size() > 3) opt.margin = parse_margin(pos[3]);
   if (pos.size() > 4) opt.strategy = flow::PartitionSpec::parse(pos[4]);
 

@@ -1,5 +1,6 @@
 #include "core/adjacency.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "sta/sta.h"
@@ -26,27 +27,63 @@ AdjacencyResult extract_control_graph(const nl::Netlist& nl,
 
   sta::Sta sta(nl, tech);
 
-  // Destination endpoints per bank: worst arrival over member data pins.
-  auto dest_arrival = [&](const std::vector<Ps>& arr, int bank) -> Ps {
-    const Bank& b = lr.banks[static_cast<size_t>(bank)];
-    Ps worst = sta::kUnreached;
-    for (nl::CellId c : b.latches) {
-      worst = std::max(worst, sta.storage_input_arrival(arr, c));
-    }
-    for (nl::CellId c : b.rams) {
-      worst = std::max(worst, sta.storage_input_arrival(arr, c));
-    }
-    return worst;
-  };
   auto setup_of = [&](int bank) {
     const Bank& b = lr.banks[static_cast<size_t>(bank)];
     return b.rams.empty() ? tech.latch_setup() : tech.dff_setup();
   };
 
+  // Capture-endpoint index: the banks whose member data pins watch each
+  // net. With it, one sparse propagation aggregates destinations in
+  // O(touched nets) — per-flip-flop extraction runs one propagation per
+  // bank, and the old dense dest scan was O(banks^2 * member cells).
+  std::vector<std::vector<int>> watchers(nl.num_nets());
+  for (size_t d = 0; d < lr.banks.size(); ++d) {
+    const Bank& b = lr.banks[d];
+    auto watch = [&](nl::CellId c) {
+      const nl::CellData& cd = nl.cell(c);
+      for (size_t i = 0; i < cd.ins.size(); ++i) {
+        if (!sta::Sta::data_endpoint_pin(cd, i)) continue;
+        auto& w = watchers[cd.ins[i].value()];
+        if (w.empty() || w.back() != static_cast<int>(d)) {
+          w.push_back(static_cast<int>(d));
+        }
+      }
+    };
+    for (nl::CellId c : b.latches) watch(c);
+    for (nl::CellId c : b.rams) watch(c);
+  }
+
+  sta::Sta::SparseScratch scratch;
+  std::vector<Ps> dest_worst(lr.banks.size(), sta::kUnreached);
+  std::vector<int> dests;
+  std::vector<sta::Source> sources;
+  // Worst data-pin arrival per reached bank under the scratch's map;
+  // restores its own state, leaves `dests` sorted for deterministic edge
+  // order (the order the dense scan produced).
+  auto collect_dests = [&](int src_bank, auto&& emit) {
+    for (nl::NetId n : scratch.touched) {
+      Ps a = scratch.arr[n.value()];
+      for (int d : watchers[n.value()]) {
+        if (d == src_bank) continue;
+        if (dest_worst[static_cast<size_t>(d)] == sta::kUnreached) {
+          dests.push_back(d);
+        }
+        dest_worst[static_cast<size_t>(d)] =
+            std::max(dest_worst[static_cast<size_t>(d)], a);
+      }
+    }
+    std::sort(dests.begin(), dests.end());
+    for (int d : dests) {
+      emit(d, dest_worst[static_cast<size_t>(d)]);
+      dest_worst[static_cast<size_t>(d)] = sta::kUnreached;
+    }
+    dests.clear();
+  };
+
   // One arrival propagation per source bank.
   for (size_t s = 0; s < lr.banks.size(); ++s) {
     const Bank& src = lr.banks[s];
-    std::vector<sta::Source> sources;
+    sources.clear();
     for (nl::CellId c : src.latches) {
       // Launch at the latch's propagation delay (enable -> Q).
       sources.push_back({nl.cell(c).outs[0], sta.cell_delay(c)});
@@ -59,39 +96,36 @@ AdjacencyResult extract_control_graph(const nl::Netlist& nl,
       }
     }
     if (sources.empty()) continue;
-    std::vector<Ps> arr = sta.arrivals(sources);
-    for (size_t d = 0; d < lr.banks.size(); ++d) {
-      if (d == s) continue;
-      Ps a = dest_arrival(arr, static_cast<int>(d));
-      if (a == sta::kUnreached) continue;
-      res.cg.add_edge(static_cast<int>(s), static_cast<int>(d),
-                      with_margin(a + setup_of(static_cast<int>(d)), margin));
-    }
+    sta.arrivals_sparse(sources, scratch);
+    collect_dests(static_cast<int>(s), [&](int d, Ps a) {
+      res.cg.add_edge(static_cast<int>(s), d,
+                      with_margin(a + setup_of(d), margin));
+    });
     // Primary outputs observed by the environment sink.
     Ps po = sta::kUnreached;
     for (nl::NetId out : nl.outputs()) {
-      po = std::max(po, arr[out.value()]);
+      po = std::max(po, scratch.arr[out.value()]);
     }
     if (po != sta::kUnreached && !src.even) {
       res.cg.add_edge(static_cast<int>(s), res.env_snk, with_margin(po, margin));
     }
+    scratch.reset();
   }
 
   // Primary inputs: one propagation from all non-clock PIs.
   {
-    std::vector<sta::Source> sources;
+    sources.clear();
     for (nl::NetId in : nl.inputs()) {
       if (in == clock) continue;
       sources.push_back({in, 0});
     }
     if (!sources.empty()) {
-      std::vector<Ps> arr = sta.arrivals(sources);
-      for (size_t d = 0; d < lr.banks.size(); ++d) {
-        Ps a = dest_arrival(arr, static_cast<int>(d));
-        if (a == sta::kUnreached) continue;
-        res.cg.add_edge(res.env_src, static_cast<int>(d),
-                        with_margin(a + setup_of(static_cast<int>(d)), margin));
-      }
+      sta.arrivals_sparse(sources, scratch);
+      collect_dests(-1, [&](int d, Ps a) {
+        res.cg.add_edge(res.env_src, d,
+                        with_margin(a + setup_of(d), margin));
+      });
+      scratch.reset();
     }
   }
   res.cg.add_edge(res.env_snk, res.env_src, 0);
@@ -178,6 +212,161 @@ ctl::ControlGraph quotient_control_graph(
   }
   q.validate();
   return q;
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalQuotient
+// ---------------------------------------------------------------------------
+
+IncrementalQuotient::IncrementalQuotient(const ctl::ControlGraph& fine,
+                                         std::vector<char> mergeable)
+    : fine_(fine), mergeable_(std::move(mergeable)) {
+  G_ = mergeable_.size();
+  live_ = G_;
+  DESYN_ASSERT(fine.num_banks() == 2 * G_ + 2,
+               "per-flip-flop layout: bank pair per group plus the env pair");
+  cluster_.resize(G_);
+  members_.resize(G_);
+  for (size_t g = 0; g < G_; ++g) {
+    cluster_[g] = static_cast<int>(g);
+    members_[g] = {static_cast<int>(g)};
+  }
+  // Per-destination worst-in over the fine edges; a cluster bank's worst is
+  // the max over its member banks' (the source of an edge never matters).
+  fine_wi_.assign(fine.num_banks(), 0);
+  for (const ctl::ControlGraph::Edge& e : fine.edges()) {
+    Ps& w = fine_wi_[static_cast<size_t>(e.to)];
+    w = std::max(w, e.matched_delay);
+  }
+  wi_.resize(2 * G_);
+  for (size_t g = 0; g < G_; ++g) {
+    wi_[2 * g] = fine_wi_[2 * g];          // even/master bank
+    wi_[2 * g + 1] = fine_wi_[2 * g + 1];  // odd/slave bank
+  }
+}
+
+void IncrementalQuotient::merge(int keep, int drop) {
+  DESYN_ASSERT(keep != drop && live(keep) && live(drop));
+  DESYN_ASSERT(mergeable(keep) && mergeable(drop));
+  Delta d;
+  d.is_merge = true;
+  d.a = keep;
+  d.b = drop;
+  d.keep_size = members_[static_cast<size_t>(keep)].size();
+  d.old_wi[0] = wi_[2 * static_cast<size_t>(keep)];
+  d.old_wi[1] = wi_[2 * static_cast<size_t>(keep) + 1];
+  auto& win = members_[static_cast<size_t>(keep)];
+  auto& lose = members_[static_cast<size_t>(drop)];
+  for (int g : lose) cluster_[static_cast<size_t>(g)] = keep;
+  win.insert(win.end(), lose.begin(), lose.end());
+  lose.clear();
+  wi_[2 * static_cast<size_t>(keep)] =
+      std::max(d.old_wi[0], wi_[2 * static_cast<size_t>(drop)]);
+  wi_[2 * static_cast<size_t>(keep) + 1] =
+      std::max(d.old_wi[1], wi_[2 * static_cast<size_t>(drop) + 1]);
+  --live_;
+  log_.push_back(d);
+}
+
+void IncrementalQuotient::move(int g, int to) {
+  int from = cluster_[static_cast<size_t>(g)];
+  DESYN_ASSERT(from != to && live(to));
+  DESYN_ASSERT(mergeable(from) && mergeable(to));
+  auto& donor = members_[static_cast<size_t>(from)];
+  DESYN_ASSERT(donor.size() >= 2, "a move may not empty the donor cluster");
+  Delta d;
+  d.is_merge = false;
+  d.a = g;
+  d.b = to;
+  d.from = from;
+  d.old_wi[0] = wi_[2 * static_cast<size_t>(from)];
+  d.old_wi[1] = wi_[2 * static_cast<size_t>(from) + 1];
+  d.old_wi[2] = wi_[2 * static_cast<size_t>(to)];
+  d.old_wi[3] = wi_[2 * static_cast<size_t>(to) + 1];
+  auto it = std::find(donor.begin(), donor.end(), g);
+  DESYN_ASSERT(it != donor.end());
+  d.member_idx = static_cast<size_t>(it - donor.begin());
+  donor.erase(it);
+  members_[static_cast<size_t>(to)].push_back(g);
+  cluster_[static_cast<size_t>(g)] = to;
+  // Donor loses a max contributor: recompute from its member banks. The
+  // receiver only gains one: max-combine.
+  Ps we = 0, wo = 0;
+  for (int m : donor) {
+    we = std::max(we, fine_wi_[2 * static_cast<size_t>(m)]);
+    wo = std::max(wo, fine_wi_[2 * static_cast<size_t>(m) + 1]);
+  }
+  wi_[2 * static_cast<size_t>(from)] = we;
+  wi_[2 * static_cast<size_t>(from) + 1] = wo;
+  wi_[2 * static_cast<size_t>(to)] =
+      std::max(d.old_wi[2], fine_wi_[2 * static_cast<size_t>(g)]);
+  wi_[2 * static_cast<size_t>(to) + 1] =
+      std::max(d.old_wi[3], fine_wi_[2 * static_cast<size_t>(g) + 1]);
+  log_.push_back(d);
+}
+
+void IncrementalQuotient::undo() {
+  DESYN_ASSERT(!log_.empty(), "undo() without a pending delta");
+  Delta d = log_.back();
+  log_.pop_back();
+  if (d.is_merge) {
+    auto& win = members_[static_cast<size_t>(d.a)];
+    auto& lose = members_[static_cast<size_t>(d.b)];
+    DESYN_ASSERT(lose.empty() && win.size() > d.keep_size);
+    lose.assign(win.begin() + static_cast<ptrdiff_t>(d.keep_size), win.end());
+    win.resize(d.keep_size);
+    for (int g : lose) cluster_[static_cast<size_t>(g)] = d.b;
+    wi_[2 * static_cast<size_t>(d.a)] = d.old_wi[0];
+    wi_[2 * static_cast<size_t>(d.a) + 1] = d.old_wi[1];
+    ++live_;
+  } else {
+    auto& donor = members_[static_cast<size_t>(d.from)];
+    auto& recv = members_[static_cast<size_t>(d.b)];
+    DESYN_ASSERT(!recv.empty() && recv.back() == d.a);
+    recv.pop_back();
+    donor.insert(donor.begin() + static_cast<ptrdiff_t>(d.member_idx), d.a);
+    cluster_[static_cast<size_t>(d.a)] = d.from;
+    wi_[2 * static_cast<size_t>(d.from)] = d.old_wi[0];
+    wi_[2 * static_cast<size_t>(d.from) + 1] = d.old_wi[1];
+    wi_[2 * static_cast<size_t>(d.b)] = d.old_wi[2];
+    wi_[2 * static_cast<size_t>(d.b) + 1] = d.old_wi[3];
+  }
+}
+
+std::vector<int> IncrementalQuotient::bank_map(
+    std::vector<ctl::ControlGraph::Bank>* banks) const {
+  std::vector<int> qidx(G_, -1);
+  int nq = 0;
+  if (banks) banks->clear();
+  for (size_t g = 0; g < G_; ++g) {
+    int c = cluster_[g];
+    if (qidx[static_cast<size_t>(c)] < 0) {
+      qidx[static_cast<size_t>(c)] = nq++;
+      if (banks) {
+        banks->push_back({cat("q", nq - 1, ".m"), true});
+        banks->push_back({cat("q", nq - 1, ".s"), false});
+      }
+    }
+  }
+  if (banks) {
+    banks->push_back({"env_snk", true});
+    banks->push_back({"env_src", false});
+  }
+  std::vector<int> map(fine_.num_banks());
+  for (size_t g = 0; g < G_; ++g) {
+    int q = qidx[static_cast<size_t>(cluster_[g])];
+    map[2 * g] = 2 * q;
+    map[2 * g + 1] = 2 * q + 1;
+  }
+  map[2 * G_] = 2 * nq;      // env_snk
+  map[2 * G_ + 1] = 2 * nq + 1;  // env_src
+  return map;
+}
+
+ctl::ControlGraph IncrementalQuotient::materialize() const {
+  std::vector<ctl::ControlGraph::Bank> banks;
+  std::vector<int> map = bank_map(&banks);
+  return quotient_control_graph(fine_, map, banks);
 }
 
 }  // namespace desyn::flow

@@ -45,11 +45,91 @@ AdjacencyResult extract_control_graph(const nl::Netlist& nl,
 /// quotient env pair), `banks` the quotient banks in order. Edges mapping
 /// to the same quotient pair merge keeping the larger matched delay —
 /// exactly what STA extraction of the merged banks would produce, since
-/// arrival times are max-plus. This is the optimizer's incremental
-/// re-scoring hook: only the merged banks' rows change, the rest of the
-/// graph is copied.
+/// arrival times are max-plus. This is the optimizer's cold re-scoring
+/// hook: only the merged banks' rows change, the rest of the graph is
+/// copied.
 ctl::ControlGraph quotient_control_graph(
     const ctl::ControlGraph& fine, std::span<const int> bank_map,
     std::span<const ctl::ControlGraph::Bank> banks);
+
+/// Incrementally maintained quotient of a per-flip-flop control graph
+/// under a mutable clustering of its fine groups — the partition
+/// optimizer's candidate-scoring substrate. Where quotient_control_graph
+/// re-derives the whole quotient (O(V+E)), this class keeps the current
+/// quotient materialized and applies each candidate as a *delta* with an
+/// undo log: a merge collapses two clusters (O(1) state, max-combining the
+/// per-destination worst-in delays exactly as the hardware line sizing
+/// aggregates them), a refinement move relabels one fine group and
+/// recomputes the donor's worst-in from its member banks. undo() reverts
+/// the latest delta, so a tentative candidate costs O(deg), not O(V+E).
+///
+/// Layout contract (the per-flip-flop extraction): fine group `g` owns
+/// banks 2g (even/master) and 2g+1 (odd/slave); the env pair env_snk
+/// (even) / env_src (odd) sits at banks 2G, 2G+1 and never merges.
+class IncrementalQuotient {
+ public:
+  /// `mergeable[g]` marks the FF groups; RAM singletons never merge.
+  IncrementalQuotient(const ctl::ControlGraph& fine,
+                      std::vector<char> mergeable);
+
+  size_t num_groups() const { return G_; }
+  size_t num_live() const { return live_; }
+  int cluster_of(int g) const { return cluster_[static_cast<size_t>(g)]; }
+  bool live(int c) const { return !members_[static_cast<size_t>(c)].empty(); }
+  bool mergeable(int c) const { return mergeable_[static_cast<size_t>(c)]; }
+  /// Fine groups of cluster `c`, in merge-arrival order (not sorted).
+  const std::vector<int>& members(int c) const {
+    return members_[static_cast<size_t>(c)];
+  }
+
+  /// Raw (pre-quantization) worst matched delay into the even/odd bank of
+  /// live cluster `c`: the per-destination aggregation the hardware
+  /// matched-delay sizing performs, maintained under merges as a max.
+  Ps worst_in(int c, bool even) const {
+    return wi_[2 * static_cast<size_t>(c) + (even ? 0 : 1)];
+  }
+  /// Static per-fine-bank worst-in (env banks included).
+  Ps fine_worst_in(int bank) const {
+    return fine_wi_[static_cast<size_t>(bank)];
+  }
+
+  /// Merge live mergeable cluster `drop` into live mergeable `keep`.
+  void merge(int keep, int drop);
+  /// Move fine group `g` out of its (multi-member) cluster into live
+  /// mergeable cluster `to`.
+  void move(int g, int to);
+  /// Revert the most recent un-undone merge/move (LIFO).
+  void undo();
+  /// Committed (un-undone) delta count — replicas replay by it.
+  size_t ops() const { return log_.size(); }
+
+  /// Fine-bank -> quotient-bank map of the current clustering: quotient
+  /// indices in first-seen fine-group order, env pair last (the order
+  /// quotient_control_graph consumers expect).
+  std::vector<int> bank_map(std::vector<ctl::ControlGraph::Bank>* banks) const;
+  /// Materialize the current quotient as a validated ControlGraph — byte
+  /// for byte what a from-scratch quotient_control_graph build produces.
+  ctl::ControlGraph materialize() const;
+
+ private:
+  struct Delta {
+    bool is_merge = true;
+    int a = -1, b = -1;      ///< merge: keep/drop; move: group/to-cluster
+    int from = -1;           ///< move: donor cluster
+    size_t keep_size = 0;    ///< merge: members_[keep] size before
+    size_t member_idx = 0;   ///< move: g's index in the donor's members
+    Ps old_wi[4] = {0, 0, 0, 0};  ///< affected clusters' worst-in pairs
+  };
+
+  const ctl::ControlGraph& fine_;
+  size_t G_ = 0;
+  size_t live_ = 0;
+  std::vector<int> cluster_;              ///< per fine group
+  std::vector<std::vector<int>> members_; ///< per cluster label
+  std::vector<char> mergeable_;
+  std::vector<Ps> fine_wi_;               ///< per fine bank (static)
+  std::vector<Ps> wi_;                    ///< per cluster bank [2c + odd]
+  std::vector<Delta> log_;
+};
 
 }  // namespace desyn::flow

@@ -71,7 +71,7 @@ DesyncResult desynchronize(const nl::Netlist& ff_netlist, nl::NetId clock,
   // Resolve the partition against the *input* netlist (cell ids are stable
   // across the copy): Auto runs the MCR-guided optimizer here.
   res.partition = make_partition(ff_netlist, clock, opt.strategy, tech,
-                                 opt.protocol, opt.margin);
+                                 opt.protocol, opt.margin, opt.opt_jobs);
   res.banks = latchify(nl, clock, res.partition);
   AdjacencyResult adj = extract_control_graph(nl, res.banks, clock, tech,
                                               opt.margin, opt.protocol);

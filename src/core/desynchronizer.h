@@ -19,10 +19,9 @@
 namespace desyn::flow {
 
 struct DesyncOptions {
-  /// How to cluster storage cells into control banks. Accepts the legacy
-  /// BankStrategy enum values implicitly (deprecated shim, one PR), a
-  /// parsed CLI spec ("prefix:2", "auto:1.05", ...) or an explicit
-  /// Partition via PartitionSpec::explicit_().
+  /// How to cluster storage cells into control banks: a parsed CLI spec
+  /// ("prefix:2", "auto:1.05", ...) or an explicit Partition via
+  /// PartitionSpec::explicit_().
   PartitionSpec strategy;
   /// Safety factor applied to every STA-sized matched delay; plays the role
   /// of the synchronous flow's clock-uncertainty margin.
@@ -31,6 +30,10 @@ struct DesyncOptions {
   /// historical default; the Fig. 4 family (Lockstep/Semi/Fully) yields
   /// level-sensitive enables with progressively more overlap.
   ctl::Protocol protocol = ctl::Protocol::Pulse;
+  /// Candidate-scoring threads for the Auto strategy's partition
+  /// optimizer (byte-identical results for any value; see
+  /// PartitionOptOptions::jobs). Ignored by the other strategies.
+  int opt_jobs = 1;
 };
 
 struct DesyncResult {

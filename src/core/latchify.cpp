@@ -98,16 +98,4 @@ LatchifyResult latchify(nl::Netlist& nl, nl::NetId clock, const Partition& p) {
   return res;
 }
 
-LatchifyResult latchify(nl::Netlist& nl, nl::NetId clock, BankStrategy s) {
-  switch (s) {
-    case BankStrategy::Prefix:
-      return latchify(nl, clock, Partition::prefix(nl));
-    case BankStrategy::PerFlipFlop:
-      return latchify(nl, clock, Partition::per_flip_flop(nl));
-    case BankStrategy::Single:
-      return latchify(nl, clock, Partition::single(nl));
-  }
-  fail("unreachable BankStrategy");
-}
-
 }  // namespace desyn::flow

@@ -61,8 +61,4 @@ class MultiClockError : public Error {
 /// does not cover the storage of `nl` exactly.
 LatchifyResult latchify(nl::Netlist& nl, nl::NetId clock, const Partition& p);
 
-/// Deprecated enum shim (one PR): builds the strategy's Partition and
-/// forwards. Prefer latchify(nl, clock, Partition::...(nl)).
-LatchifyResult latchify(nl::Netlist& nl, nl::NetId clock, BankStrategy s);
-
 }  // namespace desyn::flow

@@ -39,15 +39,6 @@
 
 namespace desyn::flow {
 
-/// Legacy three-value strategy knob. Deprecated: construct a `Partition`
-/// (or a `PartitionSpec`) instead; kept for one PR as a thin shim —
-/// `PartitionSpec` converts implicitly from it.
-enum class BankStrategy {
-  Prefix,      ///< group FFs by hierarchical name prefix (up to last '.')
-  PerFlipFlop, ///< one bank pair per flip-flop (finest granularity)
-  Single,      ///< one bank pair for the whole design
-};
-
 /// Thrown when a partition fails validation. `kind()` says how, so tests
 /// and tools can react to the specific defect rather than string-matching.
 class PartitionError : public Error {
@@ -139,8 +130,7 @@ std::string bank_prefix(const std::string& cell_name, int depth = 1);
 
 /// The partition *recipe* carried by DesyncOptions and the CLI: how to
 /// build the Partition once the netlist (and, for Auto, the timing model)
-/// is at hand. Implicitly convertible from the legacy BankStrategy enum
-/// so existing call sites keep compiling for one PR.
+/// is at hand.
 struct PartitionSpec {
   enum class Mode { Prefix, PerFlipFlop, Single, Auto, Explicit };
   Mode mode = Mode::Prefix;
@@ -151,13 +141,6 @@ struct PartitionSpec {
   std::optional<Partition> partition;
 
   PartitionSpec() = default;
-  PartitionSpec(BankStrategy s) {  // NOLINT(google-explicit-constructor)
-    switch (s) {
-      case BankStrategy::Prefix: mode = Mode::Prefix; break;
-      case BankStrategy::PerFlipFlop: mode = Mode::PerFlipFlop; break;
-      case BankStrategy::Single: mode = Mode::Single; break;
-    }
-  }
   static PartitionSpec explicit_(Partition p) {
     PartitionSpec s;
     s.mode = Mode::Explicit;
@@ -174,10 +157,12 @@ struct PartitionSpec {
 
 /// Materialize `spec` for `ff_netlist`. Mode::Auto runs
 /// optimize_partition() with `protocol`/`margin` (the knobs that shape the
-/// control graph being scored); the other modes ignore tech entirely.
+/// control graph being scored) across `opt_jobs` scoring threads; the
+/// other modes ignore tech entirely.
 Partition make_partition(const nl::Netlist& ff_netlist, nl::NetId clock,
                          const PartitionSpec& spec, const cell::Tech& tech,
-                         ctl::Protocol protocol, double margin);
+                         ctl::Protocol protocol, double margin,
+                         int opt_jobs = 1);
 
 // ---------------------------------------------------------------------------
 // The MCR-guided clustering optimizer
@@ -198,6 +183,25 @@ struct PartitionOptOptions {
   /// Run the post-merge refinement pass (single-cell moves between
   /// adjacent groups that further reduce gate cost within budget).
   bool refine = true;
+  /// Candidate-scoring threads. The search result is byte-identical for
+  /// any job count: scoring waves have a jobs-independent composition and
+  /// a deterministic reduction (fixed candidate order, seeded tie-breaks).
+  int jobs = 1;
+};
+
+/// Where the optimizer's time went — the scaling counters the benches and
+/// CI track. `candidates` counts every merge/move the search considered;
+/// most are settled without any solver run (`pruned`, rejected by a cached
+/// monotone lower bound) or by a warm-started Howard re-solve
+/// (`warm_solves`); `cold_solves` counts full cold solves (the baselines
+/// plus structural-invalidation fallbacks) and should stay a small
+/// constant regardless of design size.
+struct OptimizeStats {
+  size_t candidates = 0;
+  size_t pruned = 0;
+  size_t warm_solves = 0;
+  size_t cold_solves = 0;
+  size_t waves = 0;  ///< scoring waves dispatched (parallelism grain)
 };
 
 struct PartitionOptResult {
@@ -209,23 +213,40 @@ struct PartitionOptResult {
   size_t cost = 0;            ///< controller+delay cells of `partition`
   int merges = 0;             ///< committed group merges
   int moves = 0;              ///< committed refinement moves
-  size_t evaluations = 0;     ///< MCR evaluations spent
+  size_t evaluations = 0;     ///< MCR solver runs spent (warm + cold)
+  OptimizeStats stats;        ///< the scaling breakdown
 };
 
 /// Search for a cheap partition of `ff_netlist` whose predicted period
 /// stays within `opt.period_budget` of the Prefix baseline. Greedy
-/// agglomerative: start from per-flip-flop, score candidate merges by the
-/// Howard max-cycle-ratio of the candidate's timed control model —
-/// rebuilt incrementally as a quotient of the per-flip-flop control graph,
-/// so only the merged banks' rows change and no re-timing (STA) is ever
-/// needed — and by controller + matched-delay gate cost, computed by the
-/// real controller synthesis on the candidate control graph. Coarsening
-/// only adds rendezvous, so the predicted period is monotone in merging;
-/// a candidate that busts the budget once is discarded permanently.
-/// Deterministic for a fixed seed.
+/// agglomerative: start from per-flip-flop and repeatedly commit the
+/// highest-ranked candidate merge that keeps the predicted period (Howard
+/// max-cycle-ratio of the candidate's timed control model) within budget;
+/// a refinement pass then retries single-group moves that reduce the real
+/// synthesized controller + matched-delay gate cost.
+///
+/// The scoring loop is incremental end to end: one STA pass sizes the
+/// per-flip-flop control graph, every candidate is a delta on the current
+/// quotient (IncrementalQuotient, O(deg) apply/undo), its model is solved
+/// by a Howard re-run warm-started from the committed solution
+/// (pn::McrContext), failed candidates leave a monotone lower bound that
+/// rejects them solve-free forever after (coarsening only adds
+/// rendezvous), and scoring waves fan out across `opt.jobs` threads with a
+/// deterministic reduction. Deterministic for a fixed seed at any job
+/// count.
 PartitionOptResult optimize_partition(const nl::Netlist& ff_netlist,
                                       nl::NetId clock, const cell::Tech& tech,
                                       const PartitionOptOptions& opt = {});
+
+/// The cold oracle: the identical search, but every candidate is scored by
+/// re-deriving its whole quotient control graph from scratch and solving
+/// it cold — no incremental state, no warm starts, no bound pruning.
+/// Exists to pin optimize_partition(): both must return the same partition
+/// (equivalence-tested over the circuit suite). Use only for testing;
+/// it is orders of magnitude slower on large fabrics.
+PartitionOptResult optimize_partition_reference(
+    const nl::Netlist& ff_netlist, nl::NetId clock, const cell::Tech& tech,
+    const PartitionOptOptions& opt = {});
 
 /// The timed protocol model of a control graph with hardware line sizing
 /// (per-destination aggregation, response credit, quantization to whole

@@ -56,6 +56,8 @@ nl::NetId join_to_one(nl::Netlist& nl, ControllerNetwork& net,
   return j;
 }
 
+}  // namespace
+
 /// The arcs the synthesized network implements: the protocol model, plus —
 /// for FullyDecoupled — a capture-ordering refinement (b- after a- through
 /// the matched line). The Fig. 4 model relies on a producer's output being
@@ -78,6 +80,8 @@ std::vector<ProtoArc> hardware_arcs(const ControlGraph& cg, Protocol p) {
   }
   return arcs;
 }
+
+namespace {
 
 ControllerNetwork synthesize_pulse(nl::Builder& b, const ControlGraph& cg,
                                    const cell::Tech& tech) {
@@ -179,7 +183,7 @@ ControllerNetwork synthesize_pulse(nl::Builder& b, const ControlGraph& cg,
     net.control_nets.push_back(en);
     net.enables.push_back(en);
   }
-  net.pulse_width = 3 * tech.spec(cell::Kind::Buf).delay;
+  net.pulse_width = min_pulse_width(tech);
   return net;
 }
 
@@ -344,7 +348,7 @@ ControllerNetwork synthesize_level(nl::Builder& b, const ControlGraph& cg,
   }
   // The a+ -> a- minimum-width leg; annotates the same alternation arcs in
   // the timed MG model.
-  net.pulse_width = 3 * tech.spec(cell::Kind::Buf).delay;
+  net.pulse_width = min_pulse_width(tech);
   return net;
 }
 
@@ -357,6 +361,15 @@ Ps controller_response_credit(const cell::Tech& tech) {
   return tech.delay(cell::Kind::Inv, 1, 1) +
          tech.delay(cell::Kind::CElem, 2, 2) +
          tech.delay(cell::Kind::Xor, 2, 1);
+}
+
+Ps controller_response_delay(const cell::Tech& tech) {
+  return tech.delay(cell::Kind::Inv, 1, 1) +
+         tech.delay(cell::Kind::CElem, 2, 2);
+}
+
+Ps min_pulse_width(const cell::Tech& tech) {
+  return 3 * tech.spec(cell::Kind::Buf).delay;
 }
 
 int matched_delay_cells(Ps matched, const cell::Tech& tech) {

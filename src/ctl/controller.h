@@ -84,6 +84,17 @@ ControllerNetwork synthesize_controllers(nl::Builder& b,
 /// (flow::timed_control_model) sizes lines identically to the hardware.
 Ps controller_response_credit(const cell::Tech& tech);
 
+/// The controller response time the timed models add to every cross-bank
+/// arc (marking inverter + C-element). One definition shared by
+/// flow::timed_model and the partition optimizer's delta scorer.
+Ps controller_response_delay(const cell::Tech& tech);
+
+/// The minimum transparency / pulse width every synthesis backend sizes
+/// (three buffer delays, the pulse-generator chain). Shared by the
+/// synthesis (ControllerNetwork::pulse_width) and every scoring model so
+/// predictions cannot drift from the hardware.
+Ps min_pulse_width(const cell::Tech& tech);
+
 /// Number of whole DELAY cells the synthesis spends on a matched delay:
 /// response credit subtracted, rounded up, minimum one. The single sizing
 /// rule shared by the synthesis, the timed models and the benches — keep
@@ -98,6 +109,13 @@ int matched_delay_cells(Ps matched, const cell::Tech& tech);
 /// synthesized network.
 ControlGraph quantize_matched_delays(const ControlGraph& cg,
                                      const cell::Tech& tech);
+
+/// The arcs the synthesized network implements: protocol_arcs(cg, p) plus,
+/// for FullyDecoupled, a capture-ordering refinement arc per edge (see the
+/// .cpp). hardware_mg is mg_from_arcs over this list; the partition
+/// optimizer's delta scorer consumes the list directly so its incremental
+/// timed model is arc-for-arc the hardware model.
+std::vector<ProtoArc> hardware_arcs(const ControlGraph& cg, Protocol p);
 
 /// The timed marked graph of the network synthesize_controllers() builds:
 /// the protocol model plus the fully-decoupled capture-ordering refinement

@@ -14,23 +14,23 @@ namespace {
 /// positive cycle is found, the arcs of one such cycle are stored there in
 /// cycle order (every cycle of the predecessor graph after n rounds of
 /// relaxation is a positive cycle).
-bool positive_cycle(const MarkedGraph& mg, double lambda,
+bool positive_cycle(const McrArcs& g, double lambda,
                     std::vector<ArcId>* cycle_out) {
-  const uint32_t n = static_cast<uint32_t>(mg.num_transitions());
+  const uint32_t n = g.num_nodes;
+  const uint32_t m = static_cast<uint32_t>(g.num_arcs());
   std::vector<double> dist(n, 0.0);
-  std::vector<ArcId> parent(n, ArcId::invalid());
+  std::vector<uint32_t> parent(n, UINT32_MAX);
   uint32_t changed_node = UINT32_MAX;
   for (uint32_t iter = 0; iter <= n; ++iter) {
     changed_node = UINT32_MAX;
-    for (uint32_t a = 0; a < mg.num_arcs(); ++a) {
-      const Arc& arc = mg.arc(ArcId(a));
-      double w = static_cast<double>(arc.delay) -
-                 lambda * static_cast<double>(arc.tokens);
-      double nd = dist[arc.from.value()] + w;
-      if (nd > dist[arc.to.value()] + 1e-9) {
-        dist[arc.to.value()] = nd;
-        parent[arc.to.value()] = ArcId(a);
-        changed_node = arc.to.value();
+    for (uint32_t a = 0; a < m; ++a) {
+      double w = static_cast<double>(g.delay[a]) -
+                 lambda * static_cast<double>(g.tokens[a]);
+      double nd = dist[g.from[a]] + w;
+      if (nd > dist[g.to[a]] + 1e-9) {
+        dist[g.to[a]] = nd;
+        parent[g.to[a]] = a;
+        changed_node = g.to[a];
       }
     }
     if (changed_node == UINT32_MAX) return false;  // converged: no cycle
@@ -39,16 +39,16 @@ bool positive_cycle(const MarkedGraph& mg, double lambda,
     // Walk parents n steps to land inside a predecessor-graph cycle, then
     // collect its arcs.
     uint32_t v = changed_node;
-    for (uint32_t i = 0; i < n && parent[v].valid(); ++i) {
-      v = mg.arc(parent[v]).from.value();
+    for (uint32_t i = 0; i < n && parent[v] != UINT32_MAX; ++i) {
+      v = g.from[parent[v]];
     }
     cycle_out->clear();
     uint32_t u = v;
     do {
-      ArcId a = parent[u];
-      if (!a.valid()) break;  // defensive; cycle nodes all have parents
-      cycle_out->push_back(a);
-      u = mg.arc(a).from.value();
+      uint32_t a = parent[u];
+      if (a == UINT32_MAX) break;  // defensive; cycle nodes all have parents
+      cycle_out->push_back(ArcId(a));
+      u = g.from[a];
     } while (u != v && cycle_out->size() <= n);
     std::reverse(cycle_out->begin(), cycle_out->end());
   }
@@ -57,245 +57,109 @@ bool positive_cycle(const MarkedGraph& mg, double lambda,
 
 /// Rotate so the cycle starts at its smallest transition id (canonical,
 /// deterministic output) and fill in the transition list.
-void set_cycle(const MarkedGraph& mg, std::vector<ArcId> arcs,
+void set_cycle(const McrArcs& g, std::vector<ArcId> arcs,
                CycleRatioResult* res) {
   if (!arcs.empty()) {
     size_t best = 0;
     for (size_t i = 1; i < arcs.size(); ++i) {
-      if (mg.arc(arcs[i]).from < mg.arc(arcs[best]).from) best = i;
+      if (g.from[arcs[i].value()] < g.from[arcs[best].value()]) best = i;
     }
     std::rotate(arcs.begin(), arcs.begin() + static_cast<ptrdiff_t>(best),
                 arcs.end());
   }
   res->cycle.clear();
-  for (ArcId a : arcs) res->cycle.push_back(mg.arc(a).from);
+  for (ArcId a : arcs) res->cycle.push_back(TransId(g.from[a.value()]));
   res->cycle_arcs = std::move(arcs);
 }
 
-/// Iterative Tarjan (the control models of large register fabrics would
-/// overflow the stack recursively). Returns the component id per
-/// transition and the component count.
-std::vector<int> tarjan_scc(const MarkedGraph& mg, int* num_comps) {
-  const uint32_t n = static_cast<uint32_t>(mg.num_transitions());
-  std::vector<int> comp(n, -1);
-  std::vector<uint32_t> index(n, UINT32_MAX), low(n, 0);
-  std::vector<uint32_t> stack;
-  std::vector<uint8_t> on_stack(n, 0);
-  struct Frame {
-    uint32_t v;
-    size_t next_out;
-  };
-  std::vector<Frame> work;
-  uint32_t next_index = 0;
-  int comps = 0;
-  for (uint32_t root = 0; root < n; ++root) {
-    if (index[root] != UINT32_MAX) continue;
-    work.push_back({root, 0});
-    while (!work.empty()) {
-      uint32_t v = work.back().v;
-      if (work.back().next_out == 0) {
-        index[v] = low[v] = next_index++;
-        stack.push_back(v);
-        on_stack[v] = 1;
-      }
-      const std::vector<ArcId>& outs = mg.transition(TransId(v)).out;
-      bool descended = false;
-      while (work.back().next_out < outs.size()) {
-        uint32_t w = mg.arc(outs[work.back().next_out]).to.value();
-        ++work.back().next_out;
-        if (index[w] == UINT32_MAX) {
-          work.push_back({w, 0});
-          descended = true;
-          break;
-        }
-        if (on_stack[w]) low[v] = std::min(low[v], index[w]);
-      }
-      if (descended) continue;
-      if (low[v] == index[v]) {
-        for (;;) {
-          uint32_t w = stack.back();
-          stack.pop_back();
-          on_stack[w] = 0;
-          comp[w] = comps;
-          if (w == v) break;
-        }
-        ++comps;
-      }
-      work.pop_back();
-      if (!work.empty()) low[work.back().v] = std::min(low[work.back().v], low[v]);
+/// Reference solver on the flat view; max_cycle_ratio_reference wraps it
+/// (node/arc indices of a flattened MarkedGraph coincide with its ids).
+CycleRatioResult reference_flat(const McrArcs& g) {
+  CycleRatioResult res;
+  std::vector<ArcId> arcs;
+  if (!positive_cycle(g, 0.0, nullptr)) {
+    // All cycles have zero total delay (or there are none). Any cycle is
+    // critical; at lambda = -1 every cycle has weight D + T >= 1 > 0, so
+    // detection finds one iff one exists.
+    res.ratio = 0.0;
+    if (positive_cycle(g, -1.0, &arcs)) set_cycle(g, std::move(arcs), &res);
+    return res;
+  }
+  double lo = 0.0, hi = 1.0;
+  for (size_t a = 0; a < g.num_arcs(); ++a) {
+    hi += static_cast<double>(g.delay[a]);
+  }
+  for (int it = 0; it < 64; ++it) {
+    double mid = 0.5 * (lo + hi);
+    if (positive_cycle(g, mid, nullptr)) {
+      lo = mid;
+    } else {
+      hi = mid;
     }
   }
-  *num_comps = comps;
-  return comp;
+  // Extraction: probe just below the answer, then climb by exact cycle
+  // ratios. Each extracted predecessor-graph cycle is positive at the probe
+  // lambda but not necessarily critical; adopting its exact D/T and
+  // re-probing strictly above it terminates (finitely many cycle ratios)
+  // with a genuinely critical cycle.
+  double probe = std::max(0.0, lo * (1.0 - 1e-9) - 1e-9);
+  if (!positive_cycle(g, probe, &arcs)) {
+    bool found = positive_cycle(g, 0.0, &arcs);
+    DESYN_ASSERT(found);
+  }
+  double r = cycle_ratio(g, arcs);
+  for (;;) {
+    std::vector<ArcId> better;
+    if (!positive_cycle(g, r + 1e-9 * (1.0 + r), &better)) break;
+    double r2 = cycle_ratio(g, better);
+    if (!(r2 > r)) break;
+    r = r2;
+    arcs = std::move(better);
+  }
+  res.ratio = r;
+  set_cycle(g, std::move(arcs), &res);
+  return res;
 }
 
-/// Howard's policy iteration over one strongly-connected component,
-/// maximizing D(C)/T(C). Every node of a nontrivial SCC has at least one
-/// out-arc staying inside it, so the policy graph (one chosen out-arc per
-/// node) is a functional graph whose cycles are genuine MG cycles; policy
-/// evaluation scores them and policy improvement switches to arcs reaching
-/// a better cycle (first by ratio, then by potential). The best policy
-/// cycle is monotone non-decreasing, so the final evaluation's best cycle
-/// attains the component's maximum cycle ratio.
-class Howard {
- public:
-  explicit Howard(const MarkedGraph& mg)
-      : mg_(mg),
-        n_(static_cast<uint32_t>(mg.num_transitions())),
-        intra_out_(n_),
-        policy_(n_, ArcId::invalid()),
-        r_(n_, 0.0),
-        d_(n_, 0.0),
-        state_(n_, 0) {}
-
-  /// Register arc `a` as staying inside its endpoint's component.
-  void add_intra_arc(ArcId a) {
-    intra_out_[mg_.arc(a).from.value()].push_back(a);
-  }
-
-  bool has_out(uint32_t v) const { return !intra_out_[v].empty(); }
-
-  /// Run on one component; returns false if the iteration cap was hit
-  /// (callers then fall back to the reference solver).
-  bool run(const std::vector<uint32_t>& members) {
-    for (uint32_t v : members) {
-      DESYN_ASSERT(!intra_out_[v].empty(),
-                   "SCC node without an intra-component out-arc");
-      policy_[v] = intra_out_[v][0];
-    }
-    // Howard converges in a handful of iterations in practice; the cap is a
-    // safety net against epsilon-induced policy cycling.
-    const int cap = 64 + 4 * static_cast<int>(members.size());
-    for (int iter = 0; iter < cap; ++iter) {
-      evaluate(members);
-      if (!improve(members)) return true;
-    }
-    return false;
-  }
-
-  double best_ratio() const { return best_ratio_; }
-  const std::vector<ArcId>& best_cycle() const { return best_cycle_; }
-
- private:
-  uint32_t succ(uint32_t v) const { return mg_.arc(policy_[v]).to.value(); }
-
-  /// Score the current policy graph: per-node cycle ratio r_ and potential
-  /// d_ (d_[u] = w_u - r*t_u + d_[succ(u)], anchored at one cycle node).
-  /// Tracks the best policy cycle seen in this evaluation.
-  void evaluate(const std::vector<uint32_t>& members) {
-    for (uint32_t v : members) state_[v] = 0;
-    best_ratio_ = -1.0;
-    best_cycle_.clear();
-    std::vector<uint32_t> path;
-    for (uint32_t v0 : members) {
-      if (state_[v0] != 0) continue;
-      path.clear();
-      uint32_t u = v0;
-      while (state_[u] == 0) {
-        state_[u] = 1;
-        path.push_back(u);
-        u = succ(u);
-      }
-      size_t start = path.size();  // first index of the new cycle, if any
-      if (state_[u] == 1) {
-        // Found a fresh policy cycle beginning at u; score it.
-        while (start > 0 && path[start - 1] != u) --start;
-        --start;
-        double dsum = 0.0, tsum = 0.0;
-        for (size_t i = start; i < path.size(); ++i) {
-          const Arc& a = mg_.arc(policy_[path[i]]);
-          dsum += static_cast<double>(a.delay);
-          tsum += static_cast<double>(a.tokens);
-        }
-        DESYN_ASSERT(tsum > 0, "token-free cycle in a live marked graph");
-        double rc = dsum / tsum;
-        if (rc > best_ratio_) {
-          best_ratio_ = rc;
-          best_cycle_.clear();
-          for (size_t i = start; i < path.size(); ++i) {
-            best_cycle_.push_back(policy_[path[i]]);
-          }
-        }
-        // Anchor d at the cycle head and walk the cycle forward.
-        double dv = 0.0;
-        for (size_t i = start; i < path.size(); ++i) {
-          uint32_t w = path[i];
-          r_[w] = rc;
-          d_[w] = dv;
-          const Arc& a = mg_.arc(policy_[w]);
-          dv -= static_cast<double>(a.delay) -
-                rc * static_cast<double>(a.tokens);
-        }
-      }
-      // Nodes draining into the cycle (or into an already-evaluated
-      // region) inherit ratio and accumulate potential, tail first.
-      for (size_t i = start; i-- > 0;) {
-        uint32_t w = path[i];
-        const Arc& a = mg_.arc(policy_[w]);
-        r_[w] = r_[succ(w)];
-        d_[w] = static_cast<double>(a.delay) -
-                r_[w] * static_cast<double>(a.tokens) + d_[succ(w)];
-      }
-      for (uint32_t w : path) state_[w] = 2;
-    }
-  }
-
-  bool improve(const std::vector<uint32_t>& members) {
-    bool improved = false;
-    // Phase 1: switch to arcs reaching a strictly better cycle ratio.
-    for (uint32_t v : members) {
-      double br = r_[v];
-      ArcId ba = policy_[v];
-      for (ArcId a : intra_out_[v]) {
-        uint32_t w = mg_.arc(a).to.value();
-        if (r_[w] > br + kEpsRatio) {
-          br = r_[w];
-          ba = a;
-        }
-      }
-      if (ba != policy_[v]) {
-        policy_[v] = ba;
-        improved = true;
-      }
-    }
-    if (improved) return true;
-    // Phase 2: same ratio class, strictly better potential.
-    for (uint32_t v : members) {
-      double bd = d_[v];
-      ArcId ba = policy_[v];
-      for (ArcId a : intra_out_[v]) {
-        const Arc& arc = mg_.arc(a);
-        uint32_t w = arc.to.value();
-        if (r_[w] + kEpsRatio < r_[v]) continue;
-        double val = d_[w] + static_cast<double>(arc.delay) -
-                     r_[v] * static_cast<double>(arc.tokens);
-        if (val > bd + kEpsPotential) {
-          bd = val;
-          ba = a;
-        }
-      }
-      if (ba != policy_[v]) {
-        policy_[v] = ba;
-        improved = true;
-      }
-    }
-    return improved;
-  }
-
-  static constexpr double kEpsRatio = 1e-9;
-  static constexpr double kEpsPotential = 1e-7;
-
-  const MarkedGraph& mg_;
-  uint32_t n_;
-  std::vector<std::vector<ArcId>> intra_out_;
-  std::vector<ArcId> policy_;
-  std::vector<double> r_, d_;
-  std::vector<uint8_t> state_;
-  double best_ratio_ = -1.0;
-  std::vector<ArcId> best_cycle_;  ///< arcs of the latest evaluation's best
-};
+constexpr double kEpsRatio = 1e-9;
+constexpr double kEpsPotential = 1e-7;
+constexpr uint32_t kNoArc = UINT32_MAX;
 
 }  // namespace
+
+McrFlat flatten(const MarkedGraph& mg) {
+  McrFlat f;
+  f.num_nodes = static_cast<uint32_t>(mg.num_transitions());
+  const uint32_t m = static_cast<uint32_t>(mg.num_arcs());
+  f.from.reserve(m);
+  f.to.reserve(m);
+  f.tokens.reserve(m);
+  f.delay.reserve(m);
+  for (uint32_t a = 0; a < m; ++a) {
+    const Arc& arc = mg.arc(ArcId(a));
+    f.from.push_back(arc.from.value());
+    f.to.push_back(arc.to.value());
+    f.tokens.push_back(arc.tokens);
+    f.delay.push_back(arc.delay);
+  }
+  return f;
+}
+
+double cycle_ratio(const McrArcs& g, std::span<const ArcId> arcs) {
+  DESYN_ASSERT(!arcs.empty(), "cycle_ratio needs a non-empty cycle");
+  Ps delay = 0;
+  int64_t tokens = 0;
+  for (size_t i = 0; i < arcs.size(); ++i) {
+    uint32_t a = arcs[i].value();
+    uint32_t next = arcs[(i + 1) % arcs.size()].value();
+    DESYN_ASSERT(g.to[a] == g.from[next],
+                 "arcs do not chain into a closed cycle");
+    delay += g.delay[a];
+    tokens += g.tokens[a];
+  }
+  DESYN_ASSERT(tokens > 0, "cycle carries no token (dead marked graph?)");
+  return static_cast<double>(delay) / static_cast<double>(tokens);
+}
 
 double cycle_ratio(const MarkedGraph& mg, std::span<const ArcId> arcs) {
   DESYN_ASSERT(!arcs.empty(), "cycle_ratio needs a non-empty cycle");
@@ -312,92 +176,372 @@ double cycle_ratio(const MarkedGraph& mg, std::span<const ArcId> arcs) {
   return static_cast<double>(delay) / static_cast<double>(tokens);
 }
 
-CycleRatioResult max_cycle_ratio(const MarkedGraph& mg) {
-  DESYN_ASSERT(is_live(mg), "max_cycle_ratio requires a live marked graph");
-  CycleRatioResult res;
-  int num_comps = 0;
-  std::vector<int> comp = tarjan_scc(mg, &num_comps);
+// ---------------------------------------------------------------------------
+// McrContext: Howard's policy iteration on the flat view, warm-startable
+// ---------------------------------------------------------------------------
 
-  Howard howard(mg);
-  for (uint32_t a = 0; a < mg.num_arcs(); ++a) {
-    const Arc& arc = mg.arc(ArcId(a));
-    if (comp[arc.from.value()] == comp[arc.to.value()]) {
-      howard.add_intra_arc(ArcId(a));
+CycleRatioResult McrContext::run(const McrArcs& g,
+                                 std::span<const uint32_t> node_map,
+                                 McrScratch& s, bool* warmed) const {
+  const uint32_t n = g.num_nodes;
+  const uint32_t m = static_cast<uint32_t>(g.num_arcs());
+  *warmed = false;
+  DESYN_ASSERT(g.to.size() == m && g.tokens.size() == m && g.delay.size() == m);
+
+  // ---- out-arc CSR (for Tarjan), arc ids ascending per node -------------
+  s.out_off_.assign(n + 1, 0);
+  for (uint32_t a = 0; a < m; ++a) ++s.out_off_[g.from[a] + 1];
+  for (uint32_t v = 0; v < n; ++v) s.out_off_[v + 1] += s.out_off_[v];
+  s.out_arc_.resize(m);
+  s.csr_off_.assign(s.out_off_.begin(), s.out_off_.end());  // cursor reuse
+  for (uint32_t a = 0; a < m; ++a) s.out_arc_[s.csr_off_[g.from[a]]++] = a;
+
+  // ---- iterative Tarjan (large fabrics would overflow the call stack) ---
+  s.comp_.assign(n, -1);
+  s.index_.assign(n, UINT32_MAX);
+  s.low_.assign(n, 0);
+  s.on_stack_.assign(n, 0);
+  s.stack_.clear();
+  struct Frame {
+    uint32_t v;
+    uint32_t next_out;
+  };
+  std::vector<Frame> work;
+  uint32_t next_index = 0;
+  int comps = 0;
+  for (uint32_t root = 0; root < n; ++root) {
+    if (s.index_[root] != UINT32_MAX) continue;
+    work.push_back({root, 0});
+    while (!work.empty()) {
+      uint32_t v = work.back().v;
+      if (work.back().next_out == 0) {
+        s.index_[v] = s.low_[v] = next_index++;
+        s.stack_.push_back(v);
+        s.on_stack_[v] = 1;
+      }
+      bool descended = false;
+      while (s.out_off_[v] + work.back().next_out < s.out_off_[v + 1]) {
+        uint32_t w = g.to[s.out_arc_[s.out_off_[v] + work.back().next_out]];
+        ++work.back().next_out;
+        if (s.index_[w] == UINT32_MAX) {
+          work.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (s.on_stack_[w]) s.low_[v] = std::min(s.low_[v], s.index_[w]);
+      }
+      if (descended) continue;
+      if (s.low_[v] == s.index_[v]) {
+        for (;;) {
+          uint32_t w = s.stack_.back();
+          s.stack_.pop_back();
+          s.on_stack_[w] = 0;
+          s.comp_[w] = comps;
+          if (w == v) break;
+        }
+        ++comps;
+      }
+      work.pop_back();
+      if (!work.empty()) {
+        s.low_[work.back().v] = std::min(s.low_[work.back().v], s.low_[v]);
+      }
     }
   }
-  std::vector<std::vector<uint32_t>> members(
-      static_cast<size_t>(num_comps));
-  for (uint32_t v = 0; v < mg.num_transitions(); ++v) {
-    members[static_cast<size_t>(comp[v])].push_back(v);
+
+  // ---- intra-SCC out-arc CSR (policy candidates), arc ids ascending -----
+  s.csr_off_.assign(n + 1, 0);
+  for (uint32_t a = 0; a < m; ++a) {
+    if (s.comp_[g.from[a]] == s.comp_[g.to[a]]) ++s.csr_off_[g.from[a] + 1];
+  }
+  for (uint32_t v = 0; v < n; ++v) s.csr_off_[v + 1] += s.csr_off_[v];
+  s.csr_arc_.resize(s.csr_off_[n]);
+  s.index_.assign(s.csr_off_.begin(), s.csr_off_.end() - 1);  // cursor reuse
+  for (uint32_t a = 0; a < m; ++a) {
+    if (s.comp_[g.from[a]] == s.comp_[g.to[a]]) {
+      s.csr_arc_[s.index_[g.from[a]]++] = a;
+    }
   }
 
+  // ---- members grouped by component, node ids ascending within ----------
+  s.comp_off_.assign(static_cast<size_t>(comps) + 1, 0);
+  for (uint32_t v = 0; v < n; ++v) ++s.comp_off_[static_cast<size_t>(s.comp_[v]) + 1];
+  for (int c = 0; c < comps; ++c) s.comp_off_[static_cast<size_t>(c) + 1] += s.comp_off_[static_cast<size_t>(c)];
+  s.members_.resize(n);
+  s.low_.assign(s.comp_off_.begin(), s.comp_off_.end() - 1);  // cursor reuse
+  for (uint32_t v = 0; v < n; ++v) {
+    s.members_[s.low_[static_cast<size_t>(s.comp_[v])]++] = v;
+  }
+
+  // ---- policy initialization: cold default, then inherited baseline -----
+  s.policy_.assign(n, kNoArc);
+  s.r_.assign(n, 0.0);
+  s.d_.assign(n, 0.0);
+  for (uint32_t v = 0; v < n; ++v) {
+    if (s.csr_off_[v] < s.csr_off_[v + 1]) {
+      s.policy_[v] = s.csr_arc_[s.csr_off_[v]];
+    }
+  }
+  // state_ doubles as "node already inherited a policy" during init.
+  s.state_.assign(n, 0);
+  if (!node_map.empty() && base_nodes_ > 0 &&
+      node_map.size() == base_nodes_) {
+    // Map the baseline policy through the delta. The arc list is shared
+    // across the delta (endpoints re-pointed in place), so a policy arc is
+    // inherited iff it still leaves its mapped node and stays inside the
+    // node's strongly-connected component. When several baseline nodes map
+    // to one node (a merge), the one whose baseline cycle ratio is larger
+    // wins — it was the binding constraint — ties to the smaller node id.
+    for (uint32_t u = 0; u < base_nodes_; ++u) {
+      uint32_t v = node_map[u];
+      if (v >= n) continue;
+      uint32_t a = base_policy_[u];
+      if (a == kNoArc || a >= m) continue;
+      if (g.from[a] != v) continue;
+      if (s.comp_[g.from[a]] != s.comp_[g.to[a]]) continue;
+      if (s.state_[v] && !(base_r_[u] > s.r_[v])) continue;
+      s.policy_[v] = a;
+      s.r_[v] = base_r_[u];
+      s.state_[v] = 1;
+      *warmed = true;
+    }
+  }
+
+  // ---- Howard per component ---------------------------------------------
   double best = -1.0;
-  std::vector<ArcId> best_arcs;
-  for (const std::vector<uint32_t>& m : members) {
+  std::vector<uint32_t> best_arcs;
+  s.howard_converged_ = true;
+  for (int c = 0; c < comps; ++c) {
+    const uint32_t mb = s.comp_off_[static_cast<size_t>(c)];
+    const uint32_t me = s.comp_off_[static_cast<size_t>(c) + 1];
     // Singleton components without a self-loop contain no cycle.
-    if (m.size() == 1 && !howard.has_out(m[0])) continue;
-    if (!howard.run(m)) return max_cycle_ratio_reference(mg);
-    if (howard.best_ratio() > best) {
-      best = howard.best_ratio();
-      best_arcs = howard.best_cycle();
+    if (me - mb == 1 && s.policy_[s.members_[mb]] == kNoArc) continue;
+    for (uint32_t i = mb; i < me; ++i) {
+      DESYN_ASSERT(s.policy_[s.members_[i]] != kNoArc,
+                   "SCC node without an intra-component out-arc");
+    }
+    // Howard converges in a handful of iterations in practice; the cap is
+    // a safety net against epsilon-induced policy cycling.
+    const int cap = 64 + 4 * static_cast<int>(me - mb);
+    double comp_best = -1.0;
+    size_t comp_best_off = 0, comp_best_len = 0;
+    bool converged = false;
+    for (int iter = 0; iter < cap; ++iter) {
+      // -- evaluate: score the policy graph, track its best cycle --------
+      comp_best = -1.0;
+      comp_best_len = 0;
+      for (uint32_t i = mb; i < me; ++i) s.state_[s.members_[i]] = 0;
+      s.cycle_.clear();
+      for (uint32_t i = mb; i < me; ++i) {
+        uint32_t v0 = s.members_[i];
+        if (s.state_[v0] != 0) continue;
+        s.path_.clear();
+        uint32_t u = v0;
+        while (s.state_[u] == 0) {
+          s.state_[u] = 1;
+          s.path_.push_back(u);
+          u = g.to[s.policy_[u]];
+        }
+        size_t start = s.path_.size();  // first index of the new cycle
+        if (s.state_[u] == 1) {
+          // Found a fresh policy cycle beginning at u; score it.
+          while (start > 0 && s.path_[start - 1] != u) --start;
+          --start;
+          double dsum = 0.0, tsum = 0.0;
+          for (size_t k = start; k < s.path_.size(); ++k) {
+            uint32_t a = s.policy_[s.path_[k]];
+            dsum += static_cast<double>(g.delay[a]);
+            tsum += static_cast<double>(g.tokens[a]);
+          }
+          DESYN_ASSERT(tsum > 0, "token-free cycle in a live marked graph");
+          double rc = dsum / tsum;
+          if (rc > comp_best) {
+            comp_best = rc;
+            comp_best_off = s.cycle_.size();
+            comp_best_len = s.path_.size() - start;
+            for (size_t k = start; k < s.path_.size(); ++k) {
+              s.cycle_.push_back(s.policy_[s.path_[k]]);
+            }
+          }
+          // Anchor d at the cycle head and walk the cycle forward.
+          double dv = 0.0;
+          for (size_t k = start; k < s.path_.size(); ++k) {
+            uint32_t w = s.path_[k];
+            uint32_t a = s.policy_[w];
+            s.r_[w] = rc;
+            s.d_[w] = dv;
+            dv -= static_cast<double>(g.delay[a]) -
+                  rc * static_cast<double>(g.tokens[a]);
+          }
+        }
+        // Nodes draining into the cycle (or into an already-evaluated
+        // region) inherit ratio and accumulate potential, tail first.
+        for (size_t k = start; k-- > 0;) {
+          uint32_t w = s.path_[k];
+          uint32_t a = s.policy_[w];
+          uint32_t succ = g.to[a];
+          s.r_[w] = s.r_[succ];
+          s.d_[w] = static_cast<double>(g.delay[a]) -
+                    s.r_[w] * static_cast<double>(g.tokens[a]) + s.d_[succ];
+        }
+        for (uint32_t w : s.path_) s.state_[w] = 2;
+      }
+      // -- improve: better cycle ratio first, then better potential ------
+      bool improved = false;
+      for (uint32_t i = mb; i < me; ++i) {
+        uint32_t v = s.members_[i];
+        double br = s.r_[v];
+        uint32_t ba = s.policy_[v];
+        for (uint32_t k = s.csr_off_[v]; k < s.csr_off_[v + 1]; ++k) {
+          uint32_t a = s.csr_arc_[k];
+          if (s.r_[g.to[a]] > br + kEpsRatio) {
+            br = s.r_[g.to[a]];
+            ba = a;
+          }
+        }
+        if (ba != s.policy_[v]) {
+          s.policy_[v] = ba;
+          improved = true;
+        }
+      }
+      if (!improved) {
+        for (uint32_t i = mb; i < me; ++i) {
+          uint32_t v = s.members_[i];
+          double bd = s.d_[v];
+          uint32_t ba = s.policy_[v];
+          for (uint32_t k = s.csr_off_[v]; k < s.csr_off_[v + 1]; ++k) {
+            uint32_t a = s.csr_arc_[k];
+            uint32_t w = g.to[a];
+            if (s.r_[w] + kEpsRatio < s.r_[v]) continue;
+            double val = s.d_[w] + static_cast<double>(g.delay[a]) -
+                         s.r_[v] * static_cast<double>(g.tokens[a]);
+            if (val > bd + kEpsPotential) {
+              bd = val;
+              ba = a;
+            }
+          }
+          if (ba != s.policy_[v]) {
+            s.policy_[v] = ba;
+            improved = true;
+          }
+        }
+      }
+      if (!improved) {
+        converged = true;
+        break;
+      }
+    }
+    if (!converged) {
+      // Epsilon-induced policy cycling (never observed in practice): hand
+      // the whole graph to the independent reference solver.
+      s.howard_converged_ = false;
+      return reference_flat(g);
+    }
+    if (comp_best > best) {
+      best = comp_best;
+      best_arcs.assign(
+          s.cycle_.begin() + static_cast<ptrdiff_t>(comp_best_off),
+          s.cycle_.begin() +
+              static_cast<ptrdiff_t>(comp_best_off + comp_best_len));
     }
   }
+
+  CycleRatioResult res;
   if (best_arcs.empty()) {
     res.ratio = 0.0;  // acyclic graph: nothing bounds the throughput
     return res;
   }
-  res.ratio = cycle_ratio(mg, best_arcs);  // exact D/T of the critical cycle
-  set_cycle(mg, std::move(best_arcs), &res);
+  std::vector<ArcId> arcs;
+  arcs.reserve(best_arcs.size());
+  for (uint32_t a : best_arcs) arcs.push_back(ArcId(a));
+  res.ratio = cycle_ratio(g, arcs);  // exact D/T of the critical cycle
+  set_cycle(g, std::move(arcs), &res);
   return res;
+}
+
+void McrContext::adopt(const McrArcs& g) {
+  if (!scratch_.howard_converged_) {
+    base_nodes_ = 0;  // fell back to the reference solver: no baseline
+    return;
+  }
+  base_nodes_ = g.num_nodes;
+  base_policy_ = scratch_.policy_;
+  base_r_ = scratch_.r_;
+  base_d_ = scratch_.d_;
+}
+
+CycleRatioResult McrContext::solve(const McrArcs& g) {
+  bool warmed = false;
+  CycleRatioResult res = run(g, {}, scratch_, &warmed);
+  ++cold_solves_;
+  adopt(g);
+  return res;
+}
+
+CycleRatioResult McrContext::resolve(const McrArcs& g,
+                                     std::span<const uint32_t> node_map) {
+  bool warmed = false;
+  CycleRatioResult res = run(g, node_map, scratch_, &warmed);
+  if (warmed) {
+    ++warm_solves_;
+  } else {
+    ++cold_solves_;
+  }
+  adopt(g);
+  return res;
+}
+
+CycleRatioResult McrContext::probe(const McrArcs& g,
+                                   std::span<const uint32_t> node_map,
+                                   McrScratch& scratch) const {
+  bool warmed = false;
+  return run(g, node_map, scratch, &warmed);
+}
+
+void McrContext::export_solution(const McrScratch& scratch,
+                                 uint32_t num_nodes, Solution* out) {
+  DESYN_ASSERT(out != nullptr);
+  out->valid = scratch.howard_converged_;
+  if (!out->valid) return;
+  out->num_nodes = num_nodes;
+  out->policy = scratch.policy_;
+  out->r = scratch.r_;
+  out->d = scratch.d_;
+}
+
+void McrContext::adopt_solution(Solution sol) {
+  if (!sol.valid) {
+    base_nodes_ = 0;
+    return;
+  }
+  base_nodes_ = sol.num_nodes;
+  base_policy_ = std::move(sol.policy);
+  base_r_ = std::move(sol.r);
+  base_d_ = std::move(sol.d);
+}
+
+void McrContext::remap_baseline_arcs(std::span<const uint32_t> arc_map) {
+  for (uint32_t& a : base_policy_) {
+    if (a == kNoArc) continue;
+    a = a < arc_map.size() ? arc_map[a] : kNoArc;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MarkedGraph entry points
+// ---------------------------------------------------------------------------
+
+CycleRatioResult max_cycle_ratio(const MarkedGraph& mg) {
+  DESYN_ASSERT(is_live(mg), "max_cycle_ratio requires a live marked graph");
+  McrFlat flat = flatten(mg);
+  McrContext ctx;
+  return ctx.solve(flat.view());
 }
 
 CycleRatioResult max_cycle_ratio_reference(const MarkedGraph& mg) {
   DESYN_ASSERT(is_live(mg),
                "max_cycle_ratio_reference requires a live marked graph");
-  CycleRatioResult res;
-  std::vector<ArcId> arcs;
-  if (!positive_cycle(mg, 0.0, nullptr)) {
-    // All cycles have zero total delay (or there are none). Any cycle is
-    // critical; at lambda = -1 every cycle has weight D + T >= 1 > 0, so
-    // detection finds one iff one exists.
-    res.ratio = 0.0;
-    if (positive_cycle(mg, -1.0, &arcs)) set_cycle(mg, std::move(arcs), &res);
-    return res;
-  }
-  double lo = 0.0, hi = 1.0;
-  for (uint32_t a = 0; a < mg.num_arcs(); ++a) {
-    hi += static_cast<double>(mg.arc(ArcId(a)).delay);
-  }
-  for (int it = 0; it < 64; ++it) {
-    double mid = 0.5 * (lo + hi);
-    if (positive_cycle(mg, mid, nullptr)) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  // Extraction: probe just below the answer, then climb by exact cycle
-  // ratios. Each extracted predecessor-graph cycle is positive at the probe
-  // lambda but not necessarily critical; adopting its exact D/T and
-  // re-probing strictly above it terminates (finitely many cycle ratios)
-  // with a genuinely critical cycle.
-  double probe = std::max(0.0, lo * (1.0 - 1e-9) - 1e-9);
-  if (!positive_cycle(mg, probe, &arcs)) {
-    bool found = positive_cycle(mg, 0.0, &arcs);
-    DESYN_ASSERT(found);
-  }
-  double r = cycle_ratio(mg, arcs);
-  for (;;) {
-    std::vector<ArcId> better;
-    if (!positive_cycle(mg, r + 1e-9 * (1.0 + r), &better)) break;
-    double r2 = cycle_ratio(mg, better);
-    if (!(r2 > r)) break;
-    r = r2;
-    arcs = std::move(better);
-  }
-  res.ratio = r;
-  set_cycle(mg, std::move(arcs), &res);
-  return res;
+  McrFlat flat = flatten(mg);
+  return reference_flat(flat.view());
 }
 
 std::vector<std::vector<Ps>> earliest_schedule(const MarkedGraph& mg,

@@ -13,6 +13,15 @@
 //  * max_cycle_ratio_reference — parametric binary search over Bellman-Ford
 //    positive-cycle detection, O(64·n·m). Kept as an independent oracle for
 //    cross-checking (tests compare the two on randomized marked graphs).
+//
+// For callers that solve long sequences of *related* graphs — the partition
+// optimizer scores thousands of candidate clusterings, each one merge away
+// from the last — the solver is also exposed as a reusable McrContext that
+// retains the converged policy and potentials of its last solve and
+// warm-starts the next one through a node map, typically converging in one
+// or two sweeps instead of a full cold iteration. Warm and cold solves
+// return bit-equal ratios (property-tested): both terminate on a genuinely
+// critical cycle and report its exact delay/token quotient.
 #pragma once
 
 #include <span>
@@ -45,6 +54,128 @@ CycleRatioResult max_cycle_ratio(const MarkedGraph& mg);
 /// detection, followed by an exact cycle-ratio climb so the returned cycle
 /// is genuinely critical (its exact D/T is the returned ratio).
 CycleRatioResult max_cycle_ratio_reference(const MarkedGraph& mg);
+
+// ---------------------------------------------------------------------------
+// Flat solver interface: repeated solves over related graphs
+// ---------------------------------------------------------------------------
+
+/// Non-owning struct-of-arrays view of a timed marked graph: arc `j` runs
+/// from node `from[j]` to `to[j]` carrying `tokens[j]` initial tokens and
+/// `delay[j]` ps. Node and arc indices double as the TransId/ArcId values
+/// of the returned CycleRatioResult. Nodes without arcs are allowed (the
+/// optimizer leaves merged-away transitions as holes); self-loops are
+/// allowed; parallel arcs are allowed (the larger-delay one dominates).
+struct McrArcs {
+  uint32_t num_nodes = 0;
+  std::span<const uint32_t> from;
+  std::span<const uint32_t> to;
+  std::span<const int32_t> tokens;
+  std::span<const Ps> delay;
+  size_t num_arcs() const { return from.size(); }
+};
+
+/// Owning flat copy of a MarkedGraph: node i is TransId(i), arc j ArcId(j).
+struct McrFlat {
+  uint32_t num_nodes = 0;
+  std::vector<uint32_t> from, to;
+  std::vector<int32_t> tokens;
+  std::vector<Ps> delay;
+  McrArcs view() const { return {num_nodes, from, to, tokens, delay}; }
+};
+McrFlat flatten(const MarkedGraph& mg);
+
+/// Exact delay/token ratio of a closed arc cycle of a flat graph (the
+/// McrArcs twin of cycle_ratio above).
+double cycle_ratio(const McrArcs& g, std::span<const ArcId> arcs);
+
+/// Reusable per-solve working memory. One per thread: a McrContext::probe
+/// is const and thread-safe provided every thread brings its own scratch.
+class McrScratch {
+ public:
+  McrScratch() = default;
+
+ private:
+  friend class McrContext;
+  // Tarjan + CSR adjacency + Howard state, sized on first use and reused.
+  std::vector<uint32_t> csr_off_, csr_arc_;        // intra-SCC out-arcs
+  std::vector<uint32_t> out_off_, out_arc_;        // all out-arcs (Tarjan)
+  std::vector<int> comp_;
+  std::vector<uint32_t> index_, low_, stack_, members_, comp_off_;
+  std::vector<uint8_t> on_stack_, state_;
+  std::vector<uint32_t> policy_, path_;
+  std::vector<double> r_, d_;
+  std::vector<uint32_t> cycle_;
+  bool howard_converged_ = true;
+};
+
+/// Howard's policy iteration with warm-start across graph deltas.
+///
+/// solve() runs cold and retains the converged policy and node potentials
+/// as the context's baseline. resolve()/probe() solve a *related* graph:
+/// `node_map[u]` names the node of the new graph that baseline node `u`
+/// became (many-to-one for merges; UINT32_MAX drops the node). Arc indices
+/// must be preserved across the delta — the caller re-points endpoints of
+/// the same arc list rather than rebuilding it — so an inherited policy arc
+/// can be validated structurally (it must still leave its node inside its
+/// strongly-connected component). Nodes whose inherited policy fails
+/// validation fall back to a cold initialization; an empty or mismatched
+/// node_map falls back to a full cold solve (structural invalidation).
+///
+/// Warm starts change the iteration path, not the answer: the returned
+/// ratio is the exact D/T of a genuinely critical cycle, bit-equal to a
+/// cold solve of the same graph (property-tested in test_pn.cpp).
+class McrContext {
+ public:
+  /// A detached converged solution, exported from a probe's scratch so the
+  /// caller can later adopt it as the baseline without re-solving (the
+  /// committed candidate of a scoring wave was already solved by its
+  /// probe).
+  struct Solution {
+    bool valid = false;
+    uint32_t num_nodes = 0;
+    std::vector<uint32_t> policy;
+    std::vector<double> r, d;
+  };
+
+  /// Cold solve; the solution becomes the warm-start baseline.
+  CycleRatioResult solve(const McrArcs& g);
+  /// Warm re-solve after a delta; adopts the new solution as the baseline.
+  CycleRatioResult resolve(const McrArcs& g,
+                           std::span<const uint32_t> node_map);
+  /// Warm solve of a tentative delta *without* adopting it — the candidate
+  /// probe of the partition optimizer. Thread-safe against concurrent
+  /// probes of the same context (each thread passes its own scratch).
+  CycleRatioResult probe(const McrArcs& g, std::span<const uint32_t> node_map,
+                         McrScratch& scratch) const;
+  /// Copy the converged solution out of a just-probed scratch. Call before
+  /// reusing the scratch; `num_nodes` names the probed graph's node count.
+  static void export_solution(const McrScratch& scratch, uint32_t num_nodes,
+                              Solution* out);
+  /// Install an exported solution as the warm-start baseline (it must
+  /// describe the caller's current graph).
+  void adopt_solution(Solution sol);
+  /// Rewrite the baseline's policy arc ids through `arc_map` (old id ->
+  /// new id, UINT32_MAX drops the arc) after the caller compacted its arc
+  /// list. Node ids must be unchanged.
+  void remap_baseline_arcs(std::span<const uint32_t> arc_map);
+
+  bool has_baseline() const { return base_nodes_ > 0; }
+  size_t cold_solves() const { return cold_solves_; }
+  size_t warm_solves() const { return warm_solves_; }
+
+ private:
+  CycleRatioResult run(const McrArcs& g, std::span<const uint32_t> node_map,
+                       McrScratch& scratch, bool* warmed) const;
+  void adopt(const McrArcs& g);  ///< scratch_ solution -> baseline
+
+  // Baseline: per-node chosen out-arc (UINT32_MAX = none), cycle ratio and
+  // potential of the last adopted solve.
+  std::vector<uint32_t> base_policy_;
+  std::vector<double> base_r_, base_d_;
+  uint32_t base_nodes_ = 0;
+  McrScratch scratch_;
+  size_t cold_solves_ = 0, warm_solves_ = 0;
+};
 
 /// Earliest-firing schedule: fire time of the k-th firing (k = 0..rounds-1)
 /// of every transition under the greedy timed semantics (a transition fires

@@ -43,7 +43,16 @@ bool pin_is_data_endpoint(const nl::CellData& cd, size_t i) {
 }  // namespace
 
 Sta::Sta(const nl::Netlist& nl, const cell::Tech& tech)
-    : nl_(nl), tech_(tech), topo_(nl::topo_order(nl)) {}
+    : nl_(nl), tech_(tech), topo_(nl::topo_order(nl)) {
+  topo_pos_.assign(nl.num_cells(), UINT32_MAX);
+  for (size_t i = 0; i < topo_.size(); ++i) {
+    topo_pos_[topo_[i].value()] = static_cast<uint32_t>(i);
+  }
+}
+
+bool Sta::data_endpoint_pin(const nl::CellData& cd, size_t i) {
+  return pin_is_data_endpoint(cd, i);
+}
 
 Ps Sta::cell_delay(nl::CellId c) const {
   const nl::CellData& cd = nl_.cell(c);
@@ -74,6 +83,60 @@ std::vector<Ps> Sta::arrivals(std::span<const Source> sources) const {
     }
   }
   return arr;
+}
+
+void Sta::SparseScratch::reset() {
+  for (nl::NetId n : touched) arr[n.value()] = kUnreached;
+  touched.clear();
+}
+
+void Sta::arrivals_sparse(std::span<const Source> sources,
+                          SparseScratch& s) const {
+  DESYN_ASSERT(s.touched.empty(), "call scratch.reset() between propagations");
+  s.arr.resize(nl_.num_nets(), kUnreached);
+  s.mark.resize(nl_.num_cells(), 0);
+  ++s.epoch;
+  s.heap.clear();
+  auto cmp = [](const std::pair<uint32_t, uint32_t>& a,
+                const std::pair<uint32_t, uint32_t>& b) { return a > b; };
+  auto touch = [&](NetId n, Ps at) {
+    Ps& slot = s.arr[n.value()];
+    if (slot == kUnreached) s.touched.push_back(n);
+    if (at <= slot) return;
+    slot = at;
+    // Wake every propagating consumer of the net. Each cell is processed
+    // once (epoch mark on pop); duplicate heap entries are skipped then.
+    for (const nl::Pin& p : nl_.net(n).fanout) {
+      const nl::CellData& cd = nl_.cell(p.cell);
+      if (!propagates(cd.kind) || !pin_propagates(cd, p.index)) continue;
+      uint32_t pos = topo_pos_[p.cell.value()];
+      if (pos == UINT32_MAX || s.mark[p.cell.value()] == s.epoch) continue;
+      s.heap.push_back({pos, p.cell.value()});
+      std::push_heap(s.heap.begin(), s.heap.end(), cmp);
+    }
+  };
+  for (const Source& src : sources) {
+    DESYN_ASSERT(src.net.valid() && src.net.value() < nl_.num_nets());
+    touch(src.net, src.at);
+  }
+  // Ascending topo position guarantees every reached input of a cell is
+  // final before the cell pops — the sparse twin of the dense sweep.
+  while (!s.heap.empty()) {
+    std::pop_heap(s.heap.begin(), s.heap.end(), cmp);
+    auto [pos, cv] = s.heap.back();
+    s.heap.pop_back();
+    if (s.mark[cv] == s.epoch) continue;
+    s.mark[cv] = s.epoch;
+    const nl::CellData& cd = nl_.cell(nl::CellId(cv));
+    Ps worst = kUnreached;
+    for (size_t i = 0; i < cd.ins.size(); ++i) {
+      if (!pin_propagates(cd, i)) continue;
+      worst = std::max(worst, s.arr[cd.ins[i].value()]);
+    }
+    if (worst == kUnreached) continue;
+    Ps out = worst + cell_delay(nl::CellId(cv));
+    for (NetId o : cd.outs) touch(o, out);
+  }
 }
 
 Ps Sta::storage_input_arrival(const std::vector<Ps>& arr, nl::CellId c) const {

@@ -42,9 +42,37 @@ class Sta {
   /// on this.
   std::vector<Ps> arrivals(std::span<const Source> sources) const;
 
+  /// Reusable state for arrivals_sparse(): the arrival map plus the list
+  /// of nets the last propagation touched. One per caller (or thread).
+  struct SparseScratch {
+    std::vector<Ps> arr;             ///< per net; valid only for `touched`
+    std::vector<nl::NetId> touched;  ///< nets reached by the last call
+    /// Restore `arr` to all-kUnreached (O(|touched|)) for the next call.
+    void reset();
+
+   private:
+    friend class Sta;
+    std::vector<uint32_t> mark;  ///< per-cell epoch stamps
+    uint32_t epoch = 0;
+    std::vector<std::pair<uint32_t, uint32_t>> heap;  ///< (topo pos, cell)
+  };
+
+  /// arrivals() restricted to the downstream cone of `sources`: visits
+  /// only reached cells (in topographic order via a position heap) instead
+  /// of sweeping the whole netlist, and records every touched net. The
+  /// per-flip-flop control-graph extraction runs one propagation per bank,
+  /// so the dense sweep's O(banks * netlist) becomes O(sum of cone sizes).
+  /// Call scratch.reset() after consuming the result.
+  void arrivals_sparse(std::span<const Source> sources,
+                       SparseScratch& scratch) const;
+
   /// Worst arrival over the *data* inputs of storage cell `c` (D for
   /// latch/FF; WE/WA/WD for RAM), given a previously computed arrival map.
   Ps storage_input_arrival(const std::vector<Ps>& arr, nl::CellId c) const;
+
+  /// True if input pin `i` of storage cell `cd` is a capture data endpoint
+  /// (D; RAM WE/WA/WD) — the pins storage_input_arrival aggregates.
+  static bool data_endpoint_pin(const nl::CellData& cd, size_t i);
 
   /// Propagation delay this STA (and the simulator) uses for `c`.
   Ps cell_delay(nl::CellId c) const;
@@ -71,7 +99,8 @@ class Sta {
  private:
   const nl::Netlist& nl_;
   const cell::Tech& tech_;
-  std::vector<nl::CellId> topo_;  ///< evaluation order (comb cells first)
+  std::vector<nl::CellId> topo_;   ///< evaluation order (comb cells first)
+  std::vector<uint32_t> topo_pos_; ///< cell id -> position in topo_
 };
 
 }  // namespace desyn::sta

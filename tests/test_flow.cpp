@@ -131,7 +131,7 @@ TEST(Latchify, ConvertsFfsToLatchPairs) {
   for (nl::CellId c : nl.cells()) {
     if (nl.cell(c).kind == Kind::Dff) ++ffs;
   }
-  LatchifyResult lr = latchify(nl, clk, BankStrategy::Prefix);
+  LatchifyResult lr = latchify(nl, clk, Partition::prefix(nl));
   nl.check();
   size_t latches = 0, masters = 0;
   for (nl::CellId c : nl.cells()) {
@@ -153,7 +153,7 @@ TEST(Latchify, LatchBasedSyncMatchesFfSync) {
   NetId clk;
   Netlist ff = pipeline3(&clk);
   Netlist latched = ff;
-  latchify(latched, clk, BankStrategy::Prefix);
+  latchify(latched, clk, Partition::prefix(latched));
 
   const Tech& t = Tech::generic90();
   sim::Simulator s1(ff, t);
@@ -232,7 +232,9 @@ TEST(Desynchronizer, MatchedDelaysCoverCombinationalPaths) {
   NetId clk;
   Netlist ff = pipeline3(&clk);
   const Tech& t = Tech::generic90();
-  DesyncResult dr = desynchronize(ff, clk, t, {BankStrategy::Prefix, 1.25});
+  DesyncOptions dopt;
+  dopt.margin = 1.25;
+  DesyncResult dr = desynchronize(ff, clk, t, dopt);
   // Every slave->master edge (real combinational logic) has a delay at
   // least the latch delay + setup.
   for (const auto& e : dr.cg.edges()) {
@@ -485,13 +487,13 @@ INSTANTIATE_TEST_SUITE_P(Strategies, StrategyFlowEquivalence,
                            return n;
                          });
 
-TEST(Desynchronizer, LegacyBankStrategyShimStillWorks) {
-  // The deprecated enum still drives DesyncOptions (implicit conversion to
-  // PartitionSpec) for one PR; pin it so downstream callers keep building.
+TEST(Desynchronizer, PerFlipFlopSpecDrivesDesyncOptions) {
+  // The BankStrategy enum shim is gone; the parsed spec is the one way to
+  // pick a classic strategy through DesyncOptions.
   NetId clk;
   Netlist ff = pipeline3(&clk);
   DesyncOptions opt;
-  opt.strategy = BankStrategy::PerFlipFlop;
+  opt.strategy = PartitionSpec::parse("perff");
   DesyncResult dr = desynchronize(ff, clk, Tech::generic90(), opt);
   EXPECT_EQ(dr.partition.num_groups(), 5u);  // one group per flip-flop
   EXPECT_EQ(dr.cg.num_banks(), 12u);         // 5 pairs + env pair

@@ -102,9 +102,10 @@ TEST(Partition, ConstructorsMatchLegacyStrategies) {
   EXPECT_EQ(single.groups()[0].name, "all");
   EXPECT_EQ(single.groups()[0].cells.size(), 5u);
 
-  // The enum shim builds the same banks as the explicit partition.
-  Netlist via_enum = nl, via_part = nl;
-  LatchifyResult a = latchify(via_enum, clk, BankStrategy::Prefix);
+  // The prefix constructor builds the same banks as an explicit partition
+  // listing the same groups.
+  Netlist via_ctor = nl, via_part = nl;
+  LatchifyResult a = latchify(via_ctor, clk, Partition::prefix(via_ctor));
   LatchifyResult b = latchify(via_part, clk, pfx);
   ASSERT_EQ(a.banks.size(), b.banks.size());
   for (size_t i = 0; i < a.banks.size(); ++i) {
@@ -389,6 +390,135 @@ TEST(Optimizer, BeatsPerFlipFlopWithinBudgetOnDlx) {
   Netlist nl("dlx");
   dlx::build_dlx(nl, cfg, dlx::fibonacci_program(6));
   expect_optimized(nl, nl.find_net("clk"), "dlx");
+}
+
+// ---------------------------------------------------------------------------
+// The incremental search vs the cold oracle: identical results.
+// ---------------------------------------------------------------------------
+
+/// The incremental optimizer (delta quotients + warm-started Howard +
+/// bound pruning + parallel waves) must return exactly the partition the
+/// cold reference search does — same merges, same refinement moves, same
+/// final period and synthesized cost. The oracle deliberately skips bound
+/// pruning and re-solves every candidate from scratch, so an invalid
+/// monotone bound or a warm/cold solver divergence shows up here as a
+/// different committed merge.
+void expect_matches_reference(const Netlist& nl, NetId clk, double budget,
+                              const char* what) {
+  const Tech& tech = Tech::generic90();
+  PartitionOptOptions opt;
+  opt.period_budget = budget;
+  opt.protocol = ctl::Protocol::SemiDecoupled;
+  opt.jobs = 3;  // also exercises the parallel-wave path
+  PartitionOptResult inc = optimize_partition(nl, clk, tech, opt);
+  PartitionOptResult ref = optimize_partition_reference(nl, clk, tech, opt);
+  EXPECT_TRUE(inc.partition == ref.partition)
+      << what << " budget " << budget << ":\n  incremental: "
+      << inc.partition.describe(nl) << "\n  reference:   "
+      << ref.partition.describe(nl);
+  EXPECT_EQ(inc.merges, ref.merges) << what;
+  EXPECT_EQ(inc.moves, ref.moves) << what;
+  EXPECT_EQ(inc.period, ref.period) << what;
+  EXPECT_EQ(inc.cost, ref.cost) << what;
+  EXPECT_EQ(inc.perff_period, ref.perff_period) << what;
+  // The whole point: the incremental search spends a handful of cold
+  // solves where the oracle spends one per candidate.
+  EXPECT_LE(inc.stats.cold_solves * 20, ref.stats.cold_solves) << what;
+}
+
+TEST(OptimizerEquivalence, Rpipe32x8MatchesReference) {
+  circuits::Circuit c = circuits::random_pipeline(7, 32, 8);
+  expect_matches_reference(c.netlist, c.clock, 1.05, "rpipe32x8");
+  expect_matches_reference(c.netlist, c.clock, 1.0, "rpipe32x8");
+}
+
+TEST(OptimizerEquivalence, Mesh6x6x2MatchesReference) {
+  circuits::Circuit c = circuits::register_mesh(6, 6, 2);
+  expect_matches_reference(c.netlist, c.clock, 1.05, "mesh6x6x2");
+  expect_matches_reference(c.netlist, c.clock, 1.0, "mesh6x6x2");
+}
+
+TEST(OptimizerEquivalence, SuiteCircuitsMatchReference) {
+  for (circuits::Suite& s : circuits::scaling_suite()) {
+    if (s.name != "pipe4x8" && s.name != "counters4x8" && s.name != "crc32") {
+      continue;
+    }
+    expect_matches_reference(s.circuit.netlist, s.circuit.clock, 1.02,
+                             s.name.c_str());
+  }
+}
+
+TEST(OptimizerEquivalence, DlxMatchesReferenceUnderTightBudget) {
+  dlx::DlxConfig cfg;
+  cfg.regs = 8;
+  cfg.imem_bits = 7;
+  cfg.dmem_bits = 5;
+  Netlist nl("dlx");
+  dlx::build_dlx(nl, cfg, dlx::fibonacci_program(6));
+  // budget 1.0 is the fail-heavy regime: candidates bust the budget, the
+  // bound cache prunes, and waves escalate — the riskiest path to pin.
+  expect_matches_reference(nl, nl.find_net("clk"), 1.0, "dlx");
+}
+
+TEST(Optimizer, ByteIdenticalForAnyJobCount) {
+  circuits::Circuit c = circuits::random_pipeline(7, 32, 8);
+  const Tech& tech = Tech::generic90();
+  PartitionOptOptions opt;
+  opt.period_budget = 1.0;
+  opt.protocol = ctl::Protocol::SemiDecoupled;
+  opt.jobs = 1;
+  PartitionOptResult serial = optimize_partition(c.netlist, c.clock, tech, opt);
+  opt.jobs = 8;
+  PartitionOptResult par = optimize_partition(c.netlist, c.clock, tech, opt);
+  EXPECT_TRUE(serial.partition == par.partition);
+  EXPECT_EQ(serial.period, par.period);
+  EXPECT_EQ(serial.cost, par.cost);
+  // Wave composition is jobs-independent, so even the counters agree.
+  EXPECT_EQ(serial.stats.candidates, par.stats.candidates);
+  EXPECT_EQ(serial.stats.pruned, par.stats.pruned);
+  EXPECT_EQ(serial.stats.warm_solves, par.stats.warm_solves);
+  EXPECT_EQ(serial.stats.cold_solves, par.stats.cold_solves);
+  EXPECT_EQ(serial.evaluations, par.evaluations);
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalQuotient: deltas and undo against from-scratch quotients.
+// ---------------------------------------------------------------------------
+
+std::vector<std::tuple<int, int, Ps>> edge_list(const ctl::ControlGraph& cg) {
+  std::vector<std::tuple<int, int, Ps>> out;
+  for (const auto& e : cg.edges()) out.push_back({e.from, e.to, e.matched_delay});
+  return out;
+}
+
+TEST(IncrementalQuotient, MergeMoveUndoRoundTrip) {
+  NetId clk;
+  Netlist nl = pipeline3(&clk);
+  Netlist latched = nl;
+  Partition perff = Partition::per_flip_flop(nl);
+  LatchifyResult lr = latchify(latched, clk, perff);
+  AdjacencyResult fine = extract_control_graph(latched, lr, clk,
+                                               Tech::generic90(), 1.1);
+  std::vector<char> ok(perff.num_groups(), 1);
+  IncrementalQuotient q(fine.cg, ok);
+  auto before = edge_list(q.materialize());
+  ASSERT_EQ(q.num_live(), perff.num_groups());
+
+  q.merge(0, 2);
+  EXPECT_EQ(q.num_live(), perff.num_groups() - 1);
+  EXPECT_EQ(q.cluster_of(2), 0);
+  auto merged_once = edge_list(q.materialize());
+  q.merge(1, 3);
+  q.undo();
+  EXPECT_EQ(edge_list(q.materialize()), merged_once);
+  q.move(2, 1);
+  EXPECT_EQ(q.cluster_of(2), 1);
+  q.undo();
+  EXPECT_EQ(q.cluster_of(2), 0);
+  EXPECT_EQ(edge_list(q.materialize()), merged_once);
+  q.undo();
+  EXPECT_EQ(edge_list(q.materialize()), before);
+  EXPECT_EQ(q.num_live(), perff.num_groups());
 }
 
 TEST(Optimizer, AutoSpecResolvesInsideDesynchronize) {

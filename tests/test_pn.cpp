@@ -384,5 +384,109 @@ TEST(Mcr, SuiteControlModelCriticalCyclesAreExact) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// McrContext: warm-started solves after merge deltas are bit-equal to cold
+// solves, and their cycles are genuine.
+// ---------------------------------------------------------------------------
+
+/// Merge transition `drop` into `keep` the way the partition optimizer's
+/// delta scorer does: same transition count (drop keeps its id but loses
+/// every arc), every arc re-pointed in place so *arc ids are preserved* —
+/// the delta shape McrContext::resolve's warm start expects.
+MarkedGraph merge_transitions(const MarkedGraph& mg, uint32_t keep,
+                              uint32_t drop) {
+  MarkedGraph out(cat(mg.name(), "_m", keep, "_", drop));
+  for (uint32_t t = 0; t < mg.num_transitions(); ++t) {
+    out.add_transition(cat("t", t));
+  }
+  for (uint32_t a = 0; a < mg.num_arcs(); ++a) {
+    const Arc& arc = mg.arc(ArcId(a));
+    uint32_t f = arc.from.value() == drop ? keep : arc.from.value();
+    uint32_t t = arc.to.value() == drop ? keep : arc.to.value();
+    out.add_arc(TransId(f), TransId(t), arc.tokens, arc.delay);
+  }
+  return out;
+}
+
+class WarmVsCold : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WarmVsCold, MergeDeltasResolveBitEqualToColdSolves) {
+  const uint64_t seed = GetParam();
+  MarkedGraph cur = random_timed_mg(seed);
+  ASSERT_TRUE(is_live(cur));
+  const uint32_t n = static_cast<uint32_t>(cur.num_transitions());
+
+  McrContext ctx;
+  McrFlat flat = flatten(cur);
+  EXPECT_EQ(ctx.solve(flat.view()).ratio, max_cycle_ratio(cur).ratio);
+
+  // Random merge deltas in sequence: re-solve warm through the node map,
+  // compare bit-for-bit against a cold solve of the merged graph. Every
+  // arc carries a token (random_timed_mg), so liveness survives merging
+  // (self-loops included).
+  Rng rng(seed * 0x2545f4914f6cdd1dull + 7);
+  std::vector<uint32_t> node_map(n);
+  std::vector<char> dead(n, 0);
+  for (int step = 0; step < 3 && n >= 2; ++step) {
+    uint32_t keep = static_cast<uint32_t>(rng.below(n));
+    uint32_t drop = static_cast<uint32_t>(rng.below(n));
+    if (keep == drop || dead[keep] || dead[drop]) continue;
+    dead[drop] = 1;
+    cur = merge_transitions(cur, keep, drop);
+    ASSERT_TRUE(is_live(cur));
+    flat = flatten(cur);
+    for (uint32_t i = 0; i < n; ++i) node_map[i] = i;
+    node_map[drop] = keep;
+    CycleRatioResult warm = ctx.resolve(flat.view(), node_map);
+    CycleRatioResult cold = max_cycle_ratio(cur);
+    EXPECT_EQ(warm.ratio, cold.ratio)
+        << "warm/cold ratios diverge after merging " << drop << " into "
+        << keep << ":\n"
+        << cur.to_dot();
+    expect_genuine_critical_cycle(cur, warm);
+  }
+  EXPECT_GE(ctx.warm_solves() + ctx.cold_solves(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WarmVsCold,
+                         ::testing::Range<uint64_t>(0, 80));
+
+TEST(McrContext, StructuralInvalidationFallsBackToColdSolve) {
+  MarkedGraph mg = random_timed_mg(5);
+  McrContext ctx;
+  McrFlat flat = flatten(mg);
+  ctx.solve(flat.view());
+  size_t cold_before = ctx.cold_solves();
+  // A node map of the wrong size cannot seed the warm start: the context
+  // must fall back to (and count) a cold solve, with the same result.
+  std::vector<uint32_t> bogus(mg.num_transitions() + 3, 0);
+  CycleRatioResult r = ctx.resolve(flat.view(), bogus);
+  EXPECT_EQ(ctx.cold_solves(), cold_before + 1);
+  EXPECT_EQ(r.ratio, max_cycle_ratio(mg).ratio);
+}
+
+TEST(McrContext, ProbeLeavesBaselineUntouched) {
+  MarkedGraph mg = random_timed_mg(9);
+  const uint32_t n = static_cast<uint32_t>(mg.num_transitions());
+  McrContext ctx;
+  McrFlat fine = flatten(mg);
+  double base = ctx.solve(fine.view()).ratio;
+
+  MarkedGraph merged = merge_transitions(mg, 0, 1);
+  ASSERT_TRUE(is_live(merged));
+  McrFlat mflat = flatten(merged);
+  std::vector<uint32_t> node_map(n);
+  for (uint32_t i = 0; i < n; ++i) node_map[i] = i;
+  node_map[1] = 0;
+  McrScratch scratch;
+  double probed = ctx.probe(mflat.view(), node_map, scratch).ratio;
+  EXPECT_EQ(probed, max_cycle_ratio(merged).ratio);
+  // The baseline still describes the unmerged graph: re-solving it warm
+  // through the identity map reproduces the original ratio.
+  std::vector<uint32_t> ident(n);
+  for (uint32_t i = 0; i < n; ++i) ident[i] = i;
+  EXPECT_EQ(ctx.resolve(fine.view(), ident).ratio, base);
+}
+
 }  // namespace
 }  // namespace desyn::pn
