@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "base/cli_args.h"
 #include "circuits/circuits.h"
 #include "core/desynchronizer.h"
 #include "pn/mcr.h"
@@ -87,8 +88,8 @@ int main(int argc, char** argv) {
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
-    if (a == "--json" && i + 1 < argc) {
-      json_path = argv[++i];
+    if (a == "--json") {
+      json_path = cli::need_value(argc, argv, i, "--json");
     } else {
       fprintf(stderr, "usage: bench_mcr [--json <path>]\n");
       return 2;

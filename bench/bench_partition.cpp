@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "base/cli_args.h"
 #include "circuits/circuits.h"
 #include "core/desynchronizer.h"
 #include "dlx/cpu_builder.h"
@@ -94,20 +95,6 @@ struct Case {
   int merges = 0, moves = 0;
 };
 
-std::vector<std::string> split_list(const std::string& list) {
-  std::vector<std::string> out;
-  std::string cur;
-  for (char c : list + ",") {
-    if (c == ',') {
-      if (!cur.empty()) out.push_back(cur);
-      cur.clear();
-    } else {
-      cur += c;
-    }
-  }
-  return out;
-}
-
 void write_json(const std::string& path, const std::vector<Case>& cases,
                 int opt_jobs) {
   std::ofstream out(path);
@@ -150,20 +137,19 @@ int main(int argc, char** argv) {
   double budget_ms = 0;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
-    auto need = [&](const char* flag) -> std::string {
-      if (i + 1 >= argc) fail(flag, " needs a value");
-      return argv[++i];
-    };
     if (a == "--only") {
-      only = split_list(need("--only"));
+      only = cli::split_list(cli::need_value(argc, argv, i, "--only"));
     } else if (a == "--strategies") {
-      strategies = split_list(need("--strategies"));
+      strategies =
+          cli::split_list(cli::need_value(argc, argv, i, "--strategies"));
     } else if (a == "--json") {
-      json_path = need("--json");
+      json_path = cli::need_value(argc, argv, i, "--json");
     } else if (a == "--opt-jobs") {
-      opt_jobs = std::stoi(need("--opt-jobs"));
+      opt_jobs = cli::parse_count(
+          cli::need_value(argc, argv, i, "--opt-jobs"), "--opt-jobs value");
     } else if (a == "--budget-ms") {
-      budget_ms = std::stod(need("--budget-ms"));
+      budget_ms = cli::parse_nonneg(
+          cli::need_value(argc, argv, i, "--budget-ms"), "--budget-ms value");
     } else {
       fail("unknown option '", a, "'");
     }

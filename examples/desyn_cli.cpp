@@ -4,6 +4,7 @@
 //
 //   desyn_cli <input.v> <clock-net> <output.v> [margin] [strategy]
 //             [--protocol lockstep|semi|fully|pulse] [--opt-jobs N]
+//             [--cache-dir <dir>]
 //
 // Reads a structural-Verilog FF netlist (the subset write_verilog emits),
 // desynchronizes it under the chosen handshake protocol, writes the
@@ -13,6 +14,9 @@
 // auto:B runs the MCR-guided partition optimizer with period budget B.
 // --opt-jobs N scores the optimizer's candidate waves on N threads — the
 // result is byte-identical for any N (deterministic reduction).
+// --cache-dir keeps the staged flow engine's artifacts on disk, so an
+// unchanged re-run is a pure cache hit and an edited design re-runs only
+// the stages whose inputs changed (see docs/ARCHITECTURE.md).
 //
 // Sweep mode — the circuit x strategy x protocol x margin study over the
 // built-in circuit suite:
@@ -36,9 +40,22 @@
 // partition stats: bank count, controller cells, matched-delay cells);
 // --stable omits the wall-clock fields from it so two runs of the same
 // sweep diff cleanly.
-#include <algorithm>
-#include <atomic>
-#include <chrono>
+//
+// Server mode — the flow as a persistent service (protocol desyn-svc-v1,
+// see src/svc/server.h):
+//
+//   desyn_cli serve --socket <path> [--threads N] [--capacity N]
+//                   [--cache-dir <dir>]
+//   desyn_cli submit <input.v> <clock-net> --socket <path> [margin]
+//                    [strategy] [--protocol <p>] [--save <result.json>]
+//
+// `serve` runs until SIGINT/SIGTERM, sharing one flow engine across all
+// clients: a re-submitted design is answered from the result cache
+// byte-identically. `submit` sends one design and prints the summary;
+// --save writes the response's raw "result" object, which is
+// byte-identical across cached and cold submissions (the CI smoke job
+// cmp's two of them).
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -46,73 +63,28 @@
 #include <thread>
 #include <vector>
 
+#include "base/cli_args.h"
+#include "base/json.h"
 #include "circuits/circuits.h"
 #include "core/desynchronizer.h"
 #include "core/report.h"
+#include "flow/engine.h"
 #include "netlist/query.h"
 #include "netlist/reader.h"
 #include "netlist/writer.h"
 #include "pn/mcr.h"
 #include "sta/sta.h"
+#include "svc/client.h"
+#include "svc/server.h"
 #include "verif/flow_equivalence.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 
 using namespace desyn;
 
 namespace {
-
-/// Checked numeric CLI arguments: malformed input is a clean `error: ...`
-/// exit, never an uncaught std::invalid_argument out of stoi/stod.
-double parse_margin(const std::string& s) {
-  try {
-    size_t used = 0;
-    double v = std::stod(s, &used);
-    if (used != s.size() || !(v >= 1.0) || !(v <= 100.0)) fail("");
-    return v;
-  } catch (...) {
-    fail("malformed margin '", s, "' (need a number in [1, 100])");
-  }
-}
-
-int parse_count(const std::string& s, const char* what) {
-  try {
-    size_t used = 0;
-    int v = std::stoi(s, &used);
-    if (used != s.size() || v <= 0) fail("");
-    return v;
-  } catch (...) {
-    fail("malformed ", what, " '", s, "' (need a positive integer)");
-  }
-}
-
-std::vector<std::string> split_list(const std::string& list) {
-  std::vector<std::string> out;
-  std::string cur;
-  for (char c : list + ",") {
-    if (c == ',') {
-      if (!cur.empty()) out.push_back(cur);
-      cur.clear();
-    } else {
-      cur += c;
-    }
-  }
-  return out;
-}
-
-std::vector<double> parse_margins(const std::string& list) {
-  std::vector<double> out;
-  for (const std::string& s : split_list(list)) out.push_back(parse_margin(s));
-  if (out.empty()) fail("--margins needs at least one value");
-  return out;
-}
-
-std::vector<flow::PartitionSpec> parse_strategies(const std::string& list) {
-  std::vector<flow::PartitionSpec> out;
-  for (const std::string& s : split_list(list)) {
-    out.push_back(flow::PartitionSpec::parse(s));
-  }
-  if (out.empty()) fail("--strategies needs at least one value");
-  return out;
-}
 
 /// One circuit x strategy x protocol x margin cell of the sweep. Cells are
 /// independent tasks; the vector order is the deterministic report order.
@@ -126,23 +98,6 @@ struct SweepCell {
   double wall_ms = 0;
   bool ok = false;
 };
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x", c);
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
 
 /// Structured sweep report (schema "desyn-sweep-v2", see docs/PERF.md).
 /// With `stable` the wall-clock fields are omitted so two runs of the same
@@ -161,9 +116,9 @@ void write_sweep_json(const std::string& path,
   for (size_t i = 0; i < cells.size(); ++i) {
     const SweepCell& c = cells[i];
     const verif::FlowEqResult& r = c.res;
-    out << "    {\"circuit\": \"" << json_escape(suite[c.suite_idx].name)
+    out << "    {\"circuit\": \"" << json::escape(suite[c.suite_idx].name)
         << "\", \"strategy\": \""
-        << json_escape(strategies[c.strategy_idx].label())
+        << json::escape(strategies[c.strategy_idx].label())
         << "\", \"protocol\": \"" << ctl::protocol_name(c.protocol) << "\",";
     std::snprintf(buf, sizeof buf, " \"margin\": %.4f,", c.margin);
     out << buf << "\n     \"banks\": " << r.banks
@@ -184,7 +139,7 @@ void write_sweep_json(const std::string& path,
         << ", \"equivalent\": " << (r.equivalent ? "true" : "false")
         << ", \"ok\": " << (c.ok ? "true" : "false");
     if (!r.mismatch.empty()) {
-      out << ",\n     \"mismatch\": \"" << json_escape(r.mismatch) << "\"";
+      out << ",\n     \"mismatch\": \"" << json::escape(r.mismatch) << "\"";
     }
     if (!stable) {
       std::snprintf(buf, sizeof buf, ",\n     \"wall_ms\": %.3f", c.wall_ms);
@@ -213,25 +168,25 @@ int run_sweep(int argc, char** argv) {
   std::string json_path;
   for (int i = 2; i < argc; ++i) {
     std::string a = argv[i];
-    auto need_value = [&](const char* flag) -> std::string {
-      if (i + 1 >= argc) fail(flag, " needs a value");
-      return argv[++i];
-    };
     if (a == "--margins") {
-      margins = parse_margins(need_value("--margins"));
+      margins = cli::parse_margins(cli::need_value(argc, argv, i, "--margins"));
     } else if (a == "--strategies") {
-      strategies = parse_strategies(need_value("--strategies"));
+      strategies =
+          cli::parse_strategies(cli::need_value(argc, argv, i, "--strategies"));
     } else if (a == "--protocol") {
-      std::string v = need_value("--protocol");
+      std::string v = cli::need_value(argc, argv, i, "--protocol");
       if (v != "all") protocols = {ctl::parse_protocol(v)};
     } else if (a == "--rounds") {
-      rounds = parse_count(need_value("--rounds"), "--rounds value");
+      rounds = cli::parse_count(cli::need_value(argc, argv, i, "--rounds"),
+                                "--rounds value");
     } else if (a == "--jobs") {
-      jobs = parse_count(need_value("--jobs"), "--jobs value");
+      jobs = cli::parse_count(cli::need_value(argc, argv, i, "--jobs"),
+                              "--jobs value");
     } else if (a == "--opt-jobs") {
-      opt_jobs = parse_count(need_value("--opt-jobs"), "--opt-jobs value");
+      opt_jobs = cli::parse_count(cli::need_value(argc, argv, i, "--opt-jobs"),
+                                  "--opt-jobs value");
     } else if (a == "--json") {
-      json_path = need_value("--json");
+      json_path = cli::need_value(argc, argv, i, "--json");
     } else if (a == "--stable") {
       stable = true;
     } else if (a == "--full-suite") {
@@ -337,20 +292,121 @@ int run_sweep(int argc, char** argv) {
   return failures == 0 ? 0 : 1;
 }
 
+volatile std::sig_atomic_t g_stop = 0;
+void stop_handler(int) { g_stop = 1; }
+
+int run_serve(int argc, char** argv) {
+  svc::ServerOptions opt;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--socket") {
+      opt.socket_path = cli::need_value(argc, argv, i, "--socket");
+    } else if (a == "--threads") {
+      opt.threads = cli::parse_count(
+          cli::need_value(argc, argv, i, "--threads"), "--threads value");
+    } else if (a == "--capacity") {
+      opt.capacity = static_cast<size_t>(cli::parse_count(
+          cli::need_value(argc, argv, i, "--capacity"), "--capacity value"));
+    } else if (a == "--cache-dir") {
+      opt.cache_dir = cli::need_value(argc, argv, i, "--cache-dir");
+    } else {
+      fail("unknown serve option '", a, "'");
+    }
+  }
+  if (opt.socket_path.empty()) fail("serve needs --socket <path>");
+
+  svc::Server server(cell::Tech::generic90(), opt);
+  server.start();
+  std::printf("desyn server listening on %s (%d threads%s%s)\n",
+              opt.socket_path.c_str(), opt.threads,
+              opt.cache_dir.empty() ? "" : ", cache ",
+              opt.cache_dir.c_str());
+  std::fflush(stdout);  // backgrounded CI jobs grep for the ready line
+
+  std::signal(SIGINT, stop_handler);
+  std::signal(SIGTERM, stop_handler);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+
+  flow::StageCounters c = server.engine().counters();
+  std::printf("served %zu submissions (%zu from the result cache)\n", c.runs,
+              c.result_hits);
+  return 0;
+}
+
+int run_submit(int argc, char** argv) {
+  std::vector<std::string> pos;
+  std::string socket_path, save_path, protocol = "pulse";
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--socket") {
+      socket_path = cli::need_value(argc, argv, i, "--socket");
+    } else if (a == "--save") {
+      save_path = cli::need_value(argc, argv, i, "--save");
+    } else if (a == "--protocol") {
+      protocol = cli::need_value(argc, argv, i, "--protocol");
+    } else {
+      pos.push_back(a);
+    }
+  }
+  if (pos.size() < 2 || socket_path.empty()) {
+    fail("submit needs <input.v> <clock-net> --socket <path>");
+  }
+  double margin = pos.size() > 2 ? cli::parse_margin(pos[2]) : 1.1;
+  std::string strategy = pos.size() > 3 ? pos[3] : "prefix";
+
+  std::ifstream in(pos[0]);
+  if (!in) fail("cannot open ", pos[0]);
+  std::stringstream ss;
+  ss << in.rdbuf();
+
+  svc::Client client(socket_path);
+  std::string response = client.roundtrip(
+      svc::make_request(ss.str(), pos[1], strategy, margin, protocol));
+  std::string result = svc::extract_result(response);  // throws on error
+
+  json::Value v = json::parse(response);
+  const json::Value* r = v.get("result");
+  std::printf("circuit : %s (%s, %s, margin %.2f)\n",
+              r->get_string("circuit", "?").c_str(),
+              r->get_string("strategy", "?").c_str(),
+              r->get_string("protocol", "?").c_str(),
+              r->get_number("margin", 0));
+  std::printf("cached  : %s\n", v.get_bool("cached", false) ? "yes" : "no");
+  std::printf("banks   : %.0f (%.0f controller cells, %.0f delay cells)\n",
+              r->get_number("banks", 0), r->get_number("controller_cells", 0),
+              r->get_number("delay_cells", 0));
+  std::printf("cells   : %.0f -> %.0f\n", r->get_number("sync_cells", 0),
+              r->get_number("desync_cells", 0));
+  std::printf("predicted period: %.0fps\n",
+              r->get_number("predicted_period_ps", 0));
+  if (!save_path.empty()) {
+    std::ofstream out(save_path);
+    if (!out) fail("cannot write ", save_path);
+    out << result << "\n";
+    std::printf("saved result to %s\n", save_path.c_str());
+  }
+  return 0;
+}
+
 int run_single(int argc, char** argv) {
-  // Positional arguments with optional --protocol/--opt-jobs anywhere
-  // after them.
+  // Positional arguments with optional flags anywhere after them.
   std::vector<std::string> pos;
   ctl::Protocol protocol = ctl::Protocol::Pulse;
   int opt_jobs = 1;
+  std::string cache_dir;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     if (a == "--protocol") {
-      if (i + 1 >= argc) fail("--protocol needs a value");
-      protocol = ctl::parse_protocol(argv[++i]);
+      protocol =
+          ctl::parse_protocol(cli::need_value(argc, argv, i, "--protocol"));
     } else if (a == "--opt-jobs") {
-      if (i + 1 >= argc) fail("--opt-jobs needs a value");
-      opt_jobs = parse_count(argv[++i], "--opt-jobs value");
+      opt_jobs = cli::parse_count(
+          cli::need_value(argc, argv, i, "--opt-jobs"), "--opt-jobs value");
+    } else if (a == "--cache-dir") {
+      cache_dir = cli::need_value(argc, argv, i, "--cache-dir");
     } else {
       pos.push_back(a);
     }
@@ -359,12 +415,18 @@ int run_single(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: desyn_cli <input.v> <clock-net> <output.v> [margin] "
                  "[prefix[:N]|perff|single|auto[:B]] "
-                 "[--protocol lockstep|semi|fully|pulse] [--opt-jobs N]\n"
+                 "[--protocol lockstep|semi|fully|pulse] [--opt-jobs N] "
+                 "[--cache-dir <dir>]\n"
                  "       desyn_cli sweep [--margins 1.0,1.1,1.3] "
                  "[--protocol <p>|all] "
                  "[--strategies prefix,perff,single,auto:1.05]\n"
                  "                 [--rounds N] [--full-suite] [--jobs N] "
-                 "[--opt-jobs N] [--json <path>] [--stable]\n");
+                 "[--opt-jobs N] [--json <path>] [--stable]\n"
+                 "       desyn_cli serve --socket <path> [--threads N] "
+                 "[--capacity N] [--cache-dir <dir>]\n"
+                 "       desyn_cli submit <input.v> <clock-net> --socket "
+                 "<path> [margin] [strategy] [--protocol <p>] "
+                 "[--save <result.json>]\n");
     return 2;
   }
   std::ifstream in(pos[0]);
@@ -378,14 +440,23 @@ int run_single(int argc, char** argv) {
   flow::DesyncOptions opt;
   opt.protocol = protocol;
   opt.opt_jobs = opt_jobs;
-  if (pos.size() > 3) opt.margin = parse_margin(pos[3]);
+  if (pos.size() > 3) opt.margin = cli::parse_margin(pos[3]);
   if (pos.size() > 4) opt.strategy = flow::PartitionSpec::parse(pos[4]);
 
   const cell::Tech& tech = cell::Tech::generic90();
   sta::Sta sta(ff, tech);
   Ps sync_period = sta.min_clock_period().min_period;
 
-  flow::DesyncResult dr = flow::desynchronize(ff, clock, tech, opt);
+  // With --cache-dir the flow runs through a disk-backed engine: stages of
+  // a previously-seen design are loaded instead of recomputed.
+  std::unique_ptr<flow::Engine> engine;
+  if (!cache_dir.empty()) {
+    engine = std::make_unique<flow::Engine>(
+        tech, flow::EngineOptions{96, cache_dir});
+  }
+  flow::DesyncResult dr = engine
+                              ? *engine->desynchronize(ff, clock, opt)
+                              : flow::desynchronize(ff, clock, tech, opt);
   std::ofstream out(pos[2]);
   if (!out) fail("cannot write ", pos[2]);
   nl::write_verilog(dr.netlist, out);
@@ -411,6 +482,11 @@ int run_single(int argc, char** argv) {
   std::printf("sync STA min period : %lldps\n",
               static_cast<long long>(sync_period));
   std::printf("desync predicted    : %.0fps (max cycle ratio)\n", mcr.ratio);
+  if (engine) {
+    flow::ArtifactStore::Stats s = engine->store_stats();
+    std::printf("cache: %zu memory hits, %zu disk hits, %zu misses (%s)\n",
+                s.hits, s.disk_hits, s.misses, cache_dir.c_str());
+  }
   std::printf("wrote %s\n", pos[2].c_str());
   return 0;
 }
@@ -421,6 +497,12 @@ int main(int argc, char** argv) {
   try {
     if (argc > 1 && std::string(argv[1]) == "sweep") {
       return run_sweep(argc, argv);
+    }
+    if (argc > 1 && std::string(argv[1]) == "serve") {
+      return run_serve(argc, argv);
+    }
+    if (argc > 1 && std::string(argv[1]) == "submit") {
+      return run_submit(argc, argv);
     }
     return run_single(argc, argv);
   } catch (const Error& e) {

@@ -1,0 +1,55 @@
+// Minimal JSON support for the service layer.
+//
+// The desyn server speaks line-delimited JSON (one request/response per
+// line). This is a deliberately small recursive-descent parser for that
+// protocol — objects, arrays, strings (with \uXXXX escapes), numbers,
+// booleans, null — plus the escape helper every JSON *writer* in the repo
+// shares (sweep reports, bench reports, server responses). Writers keep
+// emitting via snprintf/streams; only reading needs a DOM.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace desyn::json {
+
+/// Parsed JSON value. Object keys keep a std::map so iteration order is
+/// deterministic (sorted), which the tests rely on when echoing.
+class Value {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool is_null() const { return kind == Kind::Null; }
+  bool is_object() const { return kind == Kind::Object; }
+  bool is_string() const { return kind == Kind::String; }
+  bool is_number() const { return kind == Kind::Number; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* get(std::string_view key) const;
+
+  /// Typed member access with defaults — the server's option parsing.
+  std::string get_string(std::string_view key,
+                         std::string_view fallback = "") const;
+  double get_number(std::string_view key, double fallback) const;
+  bool get_bool(std::string_view key, bool fallback) const;
+};
+
+/// Parse one JSON document. Throws desyn::Error with a position-annotated
+/// message on malformed input; trailing garbage after the document is an
+/// error too.
+Value parse(std::string_view text);
+
+/// Escape `s` for embedding in a JSON string literal (quotes not added).
+std::string escape(const std::string& s);
+
+}  // namespace desyn::json

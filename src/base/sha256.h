@@ -1,0 +1,74 @@
+// SHA-256 — the content-address primitive of the artifact store.
+//
+// The flow engine keys every stage artifact by a canonical hash of the
+// stage's inputs (netlist content, tech name, options). SHA-256 is used
+// not for security but for its negligible collision rate at 256 bits: a
+// key equality is treated as input equality, so the hash must make
+// accidental collisions implausible for the lifetime of a cache
+// directory. Self-contained public-domain-style implementation (FIPS
+// 180-4); no external dependency.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace desyn {
+
+/// A 256-bit digest. Comparable and hashable so it can key maps directly.
+struct Hash256 {
+  std::array<uint8_t, 32> bytes{};
+
+  bool operator==(const Hash256&) const = default;
+  auto operator<=>(const Hash256&) const = default;
+
+  /// Lower-case hex, 64 chars — the on-disk cache file name.
+  std::string hex() const;
+
+  /// First 8 bytes as an integer, for unordered_map bucketing.
+  uint64_t prefix64() const;
+};
+
+/// Incremental SHA-256. Feed bytes with update(), finish with digest().
+/// Helper mixers append a length prefix before each field so that
+/// concatenated variable-length fields cannot alias each other
+/// ("ab","c" vs "a","bc").
+class Sha256 {
+ public:
+  Sha256();
+
+  Sha256& update(const void* data, size_t len);
+  Sha256& update(std::string_view s) { return update(s.data(), s.size()); }
+
+  /// Length-prefixed field mixers for building canonical keys.
+  Sha256& field(std::string_view s);
+  Sha256& field_u64(uint64_t v);
+  Sha256& field_i64(int64_t v) { return field_u64(static_cast<uint64_t>(v)); }
+  /// Bit pattern of a double (deterministic across platforms for the
+  /// finite values the flow produces).
+  Sha256& field_f64(double v);
+
+  /// Finalize. The object must not be reused afterwards.
+  Hash256 digest();
+
+ private:
+  void compress(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_;
+  std::array<uint8_t, 64> buf_;
+  size_t buf_len_ = 0;
+  uint64_t total_ = 0;
+};
+
+/// One-shot convenience.
+Hash256 sha256(std::string_view data);
+
+}  // namespace desyn
+
+template <>
+struct std::hash<desyn::Hash256> {
+  size_t operator()(const desyn::Hash256& h) const noexcept {
+    return static_cast<size_t>(h.prefix64());
+  }
+};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "sta/sta.h"
 
@@ -13,54 +14,57 @@ Ps with_margin(Ps delay, double margin) {
   return static_cast<Ps>(std::ceil(static_cast<double>(delay) * margin));
 }
 
-}  // namespace
-
-AdjacencyResult extract_control_graph(const nl::Netlist& nl,
-                                      const LatchifyResult& lr,
-                                      nl::NetId clock,
-                                      const cell::Tech& tech, double margin,
-                                      ctl::Protocol protocol) {
-  AdjacencyResult res;
-  for (const Bank& b : lr.banks) res.cg.add_bank(b.name, b.even);
-  res.env_snk = res.cg.add_bank("env_snk", true);
-  res.env_src = res.cg.add_bank("env_src", false);
-
-  sta::Sta sta(nl, tech);
-
-  auto setup_of = [&](int bank) {
-    const Bank& b = lr.banks[static_cast<size_t>(bank)];
-    return b.rams.empty() ? tech.latch_setup() : tech.dff_setup();
-  };
-
-  // Capture-endpoint index: the banks whose member data pins watch each
-  // net. With it, one sparse propagation aggregates destinations in
-  // O(touched nets) — per-flip-flop extraction runs one propagation per
-  // bank, and the old dense dest scan was O(banks^2 * member cells).
-  std::vector<std::vector<int>> watchers(nl.num_nets());
-  for (size_t d = 0; d < lr.banks.size(); ++d) {
-    const Bank& b = lr.banks[d];
-    auto watch = [&](nl::CellId c) {
-      const nl::CellData& cd = nl.cell(c);
-      for (size_t i = 0; i < cd.ins.size(); ++i) {
-        if (!sta::Sta::data_endpoint_pin(cd, i)) continue;
-        auto& w = watchers[cd.ins[i].value()];
-        if (w.empty() || w.back() != static_cast<int>(d)) {
-          w.push_back(static_cast<int>(d));
-        }
-      }
-    };
-    for (nl::CellId c : b.latches) watch(c);
-    for (nl::CellId c : b.rams) watch(c);
-  }
-
+/// Shared machinery of full and ECO extraction: the STA, the
+/// capture-endpoint watcher index, and the one-propagation-per-source-bank
+/// destination aggregation. The ECO path reruns propagate_bank() for the
+/// affected sources only, so everything a propagation needs lives here.
+struct Extractor {
+  const nl::Netlist& nl;
+  const LatchifyResult& lr;
+  const cell::Tech& tech;
+  sta::Sta sta;
+  /// Capture-endpoint index: the banks whose member data pins watch each
+  /// net. With it, one sparse propagation aggregates destinations in
+  /// O(touched nets) — per-flip-flop extraction runs one propagation per
+  /// bank, and the old dense dest scan was O(banks^2 * member cells).
+  std::vector<std::vector<int>> watchers;
   sta::Sta::SparseScratch scratch;
-  std::vector<Ps> dest_worst(lr.banks.size(), sta::kUnreached);
+  std::vector<Ps> dest_worst;
   std::vector<int> dests;
   std::vector<sta::Source> sources;
-  // Worst data-pin arrival per reached bank under the scratch's map;
-  // restores its own state, leaves `dests` sorted for deterministic edge
-  // order (the order the dense scan produced).
-  auto collect_dests = [&](int src_bank, auto&& emit) {
+
+  Extractor(const nl::Netlist& n, const LatchifyResult& l,
+            const cell::Tech& t)
+      : nl(n), lr(l), tech(t), sta(n, t) {
+    watchers.assign(nl.num_nets(), {});
+    for (size_t d = 0; d < lr.banks.size(); ++d) {
+      const Bank& b = lr.banks[d];
+      auto watch = [&](nl::CellId c) {
+        const nl::CellData& cd = nl.cell(c);
+        for (size_t i = 0; i < cd.ins.size(); ++i) {
+          if (!sta::Sta::data_endpoint_pin(cd, i)) continue;
+          auto& w = watchers[cd.ins[i].value()];
+          if (w.empty() || w.back() != static_cast<int>(d)) {
+            w.push_back(static_cast<int>(d));
+          }
+        }
+      };
+      for (nl::CellId c : b.latches) watch(c);
+      for (nl::CellId c : b.rams) watch(c);
+    }
+    dest_worst.assign(lr.banks.size(), sta::kUnreached);
+  }
+
+  Ps setup_of(int bank) const {
+    const Bank& b = lr.banks[static_cast<size_t>(bank)];
+    return b.rams.empty() ? tech.latch_setup() : tech.dff_setup();
+  }
+
+  /// Worst data-pin arrival per reached bank under the scratch's map;
+  /// restores its own state, leaves `dests` sorted for deterministic edge
+  /// order (the order the dense scan produced).
+  template <typename Emit>
+  void collect_dests(int src_bank, Emit&& emit) {
     for (nl::NetId n : scratch.touched) {
       Ps a = scratch.arr[n.value()];
       for (int d : watchers[n.value()]) {
@@ -78,10 +82,14 @@ AdjacencyResult extract_control_graph(const nl::Netlist& nl,
       dest_worst[static_cast<size_t>(d)] = sta::kUnreached;
     }
     dests.clear();
-  };
+  }
 
-  // One arrival propagation per source bank.
-  for (size_t s = 0; s < lr.banks.size(); ++s) {
+  /// One arrival propagation from bank `s`'s launch points. Calls
+  /// emit(dest_bank, worst_data_arrival) per reached destination in sorted
+  /// order; returns the worst primary-output arrival (kUnreached when no
+  /// PO is reached or the bank has no launch nets).
+  template <typename Emit>
+  Ps propagate_bank(size_t s, Emit&& emit) {
     const Bank& src = lr.banks[s];
     sources.clear();
     for (nl::CellId c : src.latches) {
@@ -95,39 +103,63 @@ AdjacencyResult extract_control_graph(const nl::Netlist& nl,
         sources.push_back({rd, sta.cell_delay(c)});
       }
     }
-    if (sources.empty()) continue;
+    if (sources.empty()) return sta::kUnreached;
     sta.arrivals_sparse(sources, scratch);
-    collect_dests(static_cast<int>(s), [&](int d, Ps a) {
-      res.cg.add_edge(static_cast<int>(s), d,
-                      with_margin(a + setup_of(d), margin));
-    });
+    collect_dests(static_cast<int>(s), emit);
     // Primary outputs observed by the environment sink.
     Ps po = sta::kUnreached;
     for (nl::NetId out : nl.outputs()) {
       po = std::max(po, scratch.arr[out.value()]);
     }
-    if (po != sta::kUnreached && !src.even) {
-      res.cg.add_edge(static_cast<int>(s), res.env_snk, with_margin(po, margin));
-    }
     scratch.reset();
+    return po;
   }
 
-  // Primary inputs: one propagation from all non-clock PIs.
-  {
+  /// One propagation from all non-clock primary inputs (the env_src
+  /// launch). No-op when the design has none.
+  template <typename Emit>
+  void propagate_pis(nl::NetId clock, Emit&& emit) {
     sources.clear();
     for (nl::NetId in : nl.inputs()) {
       if (in == clock) continue;
       sources.push_back({in, 0});
     }
-    if (!sources.empty()) {
-      sta.arrivals_sparse(sources, scratch);
-      collect_dests(-1, [&](int d, Ps a) {
-        res.cg.add_edge(res.env_src, d,
-                        with_margin(a + setup_of(d), margin));
-      });
-      scratch.reset();
+    if (sources.empty()) return;
+    sta.arrivals_sparse(sources, scratch);
+    collect_dests(-1, emit);
+    scratch.reset();
+  }
+};
+
+}  // namespace
+
+AdjacencyResult extract_control_graph(const nl::Netlist& nl,
+                                      const LatchifyResult& lr,
+                                      nl::NetId clock,
+                                      const cell::Tech& tech, double margin,
+                                      ctl::Protocol protocol) {
+  AdjacencyResult res;
+  for (const Bank& b : lr.banks) res.cg.add_bank(b.name, b.even);
+  res.env_snk = res.cg.add_bank("env_snk", true);
+  res.env_src = res.cg.add_bank("env_src", false);
+
+  Extractor ex(nl, lr, tech);
+
+  // One arrival propagation per source bank.
+  for (size_t s = 0; s < lr.banks.size(); ++s) {
+    Ps po = ex.propagate_bank(s, [&](int d, Ps a) {
+      res.cg.add_edge(static_cast<int>(s), d,
+                      with_margin(a + ex.setup_of(d), margin));
+    });
+    if (po != sta::kUnreached && !lr.banks[s].even) {
+      res.cg.add_edge(static_cast<int>(s), res.env_snk, with_margin(po, margin));
     }
   }
+
+  // Primary inputs: one propagation from all non-clock PIs.
+  ex.propagate_pis(clock, [&](int d, Ps a) {
+    res.cg.add_edge(res.env_src, d, with_margin(a + ex.setup_of(d), margin));
+  });
   res.cg.add_edge(res.env_snk, res.env_src, 0);
 
   // Read-before-write ordering: a RAM's write pulse (odd bank) must follow
@@ -194,6 +226,123 @@ AdjacencyResult extract_control_graph(const nl::Netlist& nl,
       }
     }
   }
+  res.cg.validate();
+  return res;
+}
+
+AdjacencyResult extract_control_graph_eco(
+    const nl::Netlist& nl, const LatchifyResult& lr, nl::NetId clock,
+    const cell::Tech& tech, double margin, ctl::Protocol protocol,
+    const AdjacencyResult& prev, std::span<const nl::CellId> changed,
+    size_t* banks_recomputed) {
+  (void)protocol;  // encoded in prev's ordering edges, which are copied
+  const size_t nbanks = lr.banks.size();
+  DESYN_ASSERT(prev.cg.num_banks() == nbanks + 2,
+               "eco: prev built from a different partition");
+
+  // Affected sources: walk *upstream* from the changed cells through
+  // everything the STA propagates through (combinational cells, CElem/Gc,
+  // the RAM/ROM read path). A storage cell reached on the walk launches
+  // paths into the changed logic, so its bank's outgoing delays may move;
+  // a primary input reached means the env_src propagation may move. Over-
+  // approximation is safe (extra recomputation), under-approximation is a
+  // correctness bug — so only latches/FFs stop the walk.
+  std::vector<int> bank_of(nl.num_cells(), -1);
+  for (size_t b = 0; b < nbanks; ++b) {
+    for (nl::CellId c : lr.banks[b].latches) {
+      bank_of[c.value()] = static_cast<int>(b);
+    }
+    for (nl::CellId c : lr.banks[b].rams) {
+      bank_of[c.value()] = static_cast<int>(b);
+    }
+  }
+  std::vector<char> affected(nbanks, 0);
+  bool env_affected = false;
+  std::vector<char> seen(nl.num_cells(), 0);
+  std::vector<nl::CellId> work;
+  auto enter = [&](nl::CellId c) {
+    if (!seen[c.value()]) {
+      seen[c.value()] = 1;
+      work.push_back(c);
+    }
+  };
+  for (nl::CellId c : changed) enter(c);
+  while (!work.empty()) {
+    nl::CellId c = work.back();
+    work.pop_back();
+    const nl::CellData& cd = nl.cell(c);
+    if (cd.dead) continue;
+    if (bank_of[c.value()] >= 0) affected[static_cast<size_t>(bank_of[c.value()])] = 1;
+    if (cell::is_latch(cd.kind) || cd.kind == cell::Kind::Dff) continue;
+    for (nl::NetId in : cd.ins) {
+      const nl::NetData& nd = nl.net(in);
+      if (!nd.driver.valid()) {
+        env_affected = true;  // primary input (or undriven) in the cone
+      } else {
+        enter(nd.driver);
+      }
+    }
+  }
+
+  AdjacencyResult res;
+  for (const Bank& b : lr.banks) res.cg.add_bank(b.name, b.even);
+  res.env_snk = res.cg.add_bank("env_snk", true);
+  res.env_src = res.cg.add_bank("env_src", false);
+  DESYN_ASSERT(res.env_snk == prev.env_snk && res.env_src == prev.env_src);
+
+  // Re-time the affected sources' outgoing edges.
+  Extractor ex(nl, lr, tech);
+  std::unordered_map<uint64_t, Ps> fresh;
+  auto key = [](int f, int t) {
+    return static_cast<uint64_t>(static_cast<uint32_t>(f)) << 32 |
+           static_cast<uint32_t>(t);
+  };
+  size_t ran = 0;
+  for (size_t s = 0; s < nbanks; ++s) {
+    if (!affected[s]) continue;
+    ++ran;
+    Ps po = ex.propagate_bank(s, [&](int d, Ps a) {
+      fresh[key(static_cast<int>(s), d)] =
+          with_margin(a + ex.setup_of(d), margin);
+    });
+    if (po != sta::kUnreached && !lr.banks[s].even) {
+      fresh[key(static_cast<int>(s), res.env_snk)] = with_margin(po, margin);
+    }
+  }
+  if (env_affected) {
+    ex.propagate_pis(clock, [&](int d, Ps a) {
+      fresh[key(res.env_src, d)] = with_margin(a + ex.setup_of(d), margin);
+    });
+  }
+  if (banks_recomputed) *banks_recomputed = ran + (env_affected ? 1 : 0);
+
+  // Replay the previous edge list in order. Identical structure means
+  // identical reachability, so the full extraction would produce exactly
+  // this edge set in exactly this order; only delays of re-timed sources
+  // substitute. STA-sized delays are strictly positive (launch delay or
+  // setup, margined), pure ordering/parking edges are 0 — the assert
+  // catches a re-timed source whose timed edge the propagation missed.
+  size_t used = 0;
+  for (const auto& e : prev.cg.edges()) {
+    Ps d = e.matched_delay;
+    auto it = fresh.find(key(e.from, e.to));
+    if (it != fresh.end()) {
+      d = it->second;
+      ++used;
+    } else {
+      bool retimed_src =
+          e.from < static_cast<int>(nbanks)
+              ? affected[static_cast<size_t>(e.from)] != 0
+              : (e.from == res.env_src && env_affected);
+      DESYN_ASSERT(!(retimed_src && e.matched_delay > 0),
+                   "eco: timed edge of a re-timed source not re-timed "
+                   "(structure changed?)");
+    }
+    res.cg.add_edge(e.from, e.to, d);
+  }
+  DESYN_ASSERT(used == fresh.size(),
+               "eco: re-timed a pair the previous graph lacks "
+               "(structure changed?)");
   res.cg.validate();
   return res;
 }

@@ -39,6 +39,32 @@ AdjacencyResult extract_control_graph(const nl::Netlist& nl,
                                       ctl::Protocol protocol =
                                           ctl::Protocol::Pulse);
 
+/// ECO re-extraction — the flow engine's cone-limited STA delta.
+///
+/// Precondition: `nl` is *structurally identical* to the netlist that
+/// produced `prev` under the same (lr, clock, tech, margin, protocol):
+/// same nets, cells, names, pin connectivity and bank membership; only
+/// per-cell fields (kind within the same pin structure, init, payload
+/// contents) differ, and `changed` lists every cell whose fields do.
+///
+/// Only source banks whose combinational output cone contains a changed
+/// cell re-run sparse STA propagation (plus the primary-input propagation
+/// when a changed cell sits in a PI cone); every other edge delay is
+/// copied from `prev`. Because structure is unchanged, reachability — and
+/// hence the edge set and its deterministic order — is unchanged, so the
+/// result is byte-identical to a full extract_control_graph on `nl`
+/// (internally asserted: every previously-timed edge of a recomputed
+/// source must be re-timed, and vice versa).
+///
+/// `banks_recomputed` (optional) reports how many source-bank
+/// propagations actually ran — the engine's ECO counters and bench_flow
+/// surface it.
+AdjacencyResult extract_control_graph_eco(
+    const nl::Netlist& nl, const LatchifyResult& lr, nl::NetId clock,
+    const cell::Tech& tech, double margin, ctl::Protocol protocol,
+    const AdjacencyResult& prev, std::span<const nl::CellId> changed,
+    size_t* banks_recomputed = nullptr);
+
 /// The control graph of a *coarser* partition, derived from a finer one
 /// without re-running timing: `bank_map[i]` is the quotient bank of fine
 /// bank `i` (parity must be preserved; map the fine env pair onto the

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "core/clocktree.h"
+#include "flow/engine.h"
 
 namespace desyn::flow {
 
@@ -62,32 +63,21 @@ void compensate_enable_skew(nl::Netlist& nl, ctl::ControllerNetwork& ctrl,
 
 }  // namespace
 
-DesyncResult desynchronize(const nl::Netlist& ff_netlist, nl::NetId clock,
-                           const cell::Tech& tech, const DesyncOptions& opt) {
-  DESYN_ASSERT(opt.margin >= 1.0, "matched-delay margin must be >= 1");
-  DesyncResult res{ff_netlist, {}, {}, {}, {}, -1, -1, opt.protocol};
-  nl::Netlist& nl = res.netlist;
-
-  // Resolve the partition against the *input* netlist (cell ids are stable
-  // across the copy): Auto runs the MCR-guided optimizer here.
-  res.partition = make_partition(ff_netlist, clock, opt.strategy, tech,
-                                 opt.protocol, opt.margin, opt.opt_jobs);
-  res.banks = latchify(nl, clock, res.partition);
-  AdjacencyResult adj = extract_control_graph(nl, res.banks, clock, tech,
-                                              opt.margin, opt.protocol);
-  res.cg = std::move(adj.cg);
-  res.env_snk = adj.env_snk;
-  res.env_src = adj.env_src;
-
+ctl::ControllerNetwork attach_controllers(nl::Netlist& nl,
+                                          const LatchifyResult& banks,
+                                          const ctl::ControlGraph& cg,
+                                          ctl::Protocol protocol,
+                                          const cell::Tech& tech) {
   nl::Builder b(nl);
-  res.ctrl = ctl::synthesize_controllers(b, res.cg, opt.protocol, tech);
+  ctl::ControllerNetwork ctrl = ctl::synthesize_controllers(b, cg, protocol,
+                                                            tech);
 
   // Rewire storage control pins from the clock to the local enables. The
   // enable is transparent-high for every bank under every protocol, so
   // masters flip LatchN->Latch.
-  for (size_t i = 0; i < res.banks.banks.size(); ++i) {
-    const Bank& bank = res.banks.banks[i];
-    nl::NetId en = res.ctrl.enables[i];
+  for (size_t i = 0; i < banks.banks.size(); ++i) {
+    const Bank& bank = banks.banks[i];
+    nl::NetId en = ctrl.enables[i];
     for (nl::CellId c : bank.latches) {
       if (nl.cell(c).kind == cell::Kind::LatchN) {
         nl.set_kind(c, cell::Kind::Latch);
@@ -107,12 +97,38 @@ DesyncResult desynchronize(const nl::Netlist& ff_netlist, nl::NetId clock,
     // handshake-side compensation for the tree's insertion delay.
     if (nl.net(en).fanout.size() > 8) {
       ClockTree tree = build_clock_tree(nl, en, tech, 8);
-      for (nl::NetId n : tree.nets) res.ctrl.control_nets.push_back(n);
-      for (nl::CellId c : tree.buffers) res.ctrl.cells.push_back(c);
-      compensate_enable_skew(nl, res.ctrl, i, tree.insertion_delay, tech);
+      for (nl::NetId n : tree.nets) ctrl.control_nets.push_back(n);
+      for (nl::CellId c : tree.buffers) ctrl.cells.push_back(c);
+      compensate_enable_skew(nl, ctrl, i, tree.insertion_delay, tech);
     }
   }
   nl.check();
+  return ctrl;
+}
+
+DesyncResult desynchronize(const nl::Netlist& ff_netlist, nl::NetId clock,
+                           const cell::Tech& tech, const DesyncOptions& opt) {
+  return *Engine::process(tech).desynchronize(ff_netlist, clock, opt);
+}
+
+DesyncResult desynchronize_reference(const nl::Netlist& ff_netlist,
+                                     nl::NetId clock, const cell::Tech& tech,
+                                     const DesyncOptions& opt) {
+  DESYN_ASSERT(opt.margin >= 1.0, "matched-delay margin must be >= 1");
+  DesyncResult res{ff_netlist, {}, {}, {}, {}, -1, -1, opt.protocol};
+  nl::Netlist& nl = res.netlist;
+
+  // Resolve the partition against the *input* netlist (cell ids are stable
+  // across the copy): Auto runs the MCR-guided optimizer here.
+  res.partition = make_partition(ff_netlist, clock, opt.strategy, tech,
+                                 opt.protocol, opt.margin, opt.opt_jobs);
+  res.banks = latchify(nl, clock, res.partition);
+  AdjacencyResult adj = extract_control_graph(nl, res.banks, clock, tech,
+                                              opt.margin, opt.protocol);
+  res.cg = std::move(adj.cg);
+  res.env_snk = adj.env_snk;
+  res.env_src = adj.env_src;
+  res.ctrl = attach_controllers(nl, res.banks, res.cg, opt.protocol, tech);
   return res;
 }
 

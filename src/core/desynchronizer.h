@@ -53,11 +53,35 @@ struct DesyncResult {
   nl::NetId env_src_enable() const { return enable(env_src); }
 };
 
-/// Run the flow on a copy of `ff_netlist`. Throws MultiClockError on
+/// Run the flow on a copy of `ff_netlist` through the process-wide staged
+/// engine (flow/engine.h): every stage is served from the content-addressed
+/// artifact cache when its inputs are unchanged, and the result is
+/// byte-identical to desynchronize_reference(). Throws MultiClockError on
 /// multi-clock designs.
 DesyncResult desynchronize(const nl::Netlist& ff_netlist, nl::NetId clock,
                            const cell::Tech& tech,
                            const DesyncOptions& opt = {});
+
+/// The monolithic, uncached flow — the oracle the staged engine is pinned
+/// against, the same way optimize_partition_reference() pins the partition
+/// optimizer: for identical inputs the engine must emit byte-identical
+/// Verilog (tests compare both on every circuit x protocol).
+DesyncResult desynchronize_reference(const nl::Netlist& ff_netlist,
+                                     nl::NetId clock, const cell::Tech& tech,
+                                     const DesyncOptions& opt = {});
+
+/// Steps 3+4 of the flow on an already-latchified netlist: synthesize the
+/// controller network for `cg`, rewire every bank's storage control pins
+/// from the clock to its local enable (masters flip LatchN->Latch, RAM CK
+/// commits on the enable rise), grow distribution trees for high-fanout
+/// enables and compensate their insertion skew on the handshake side.
+/// Ends with nl.check(). Shared by desynchronize_reference() and the
+/// engine's synth stage so the two cannot drift apart.
+ctl::ControllerNetwork attach_controllers(nl::Netlist& nl,
+                                          const LatchifyResult& banks,
+                                          const ctl::ControlGraph& cg,
+                                          ctl::Protocol protocol,
+                                          const cell::Tech& tech);
 
 /// The timed protocol model of a desynchronized circuit, ready for
 /// max-cycle-ratio throughput prediction (bench A3). Delays are quantized

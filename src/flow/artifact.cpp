@@ -1,0 +1,160 @@
+#include "flow/artifact.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "base/common.h"
+
+namespace desyn::flow {
+
+namespace fs = std::filesystem;
+
+ArtifactStore::ArtifactStore(const Options& opt) : opt_(opt) {
+  DESYN_ASSERT(opt_.capacity > 0);
+  if (!opt_.dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(opt_.dir, ec);
+    if (ec) fail("cannot create cache dir ", opt_.dir, ": ", ec.message());
+  }
+}
+
+std::string ArtifactStore::disk_path(std::string_view kind,
+                                     const Hash256& key) const {
+  return cat(opt_.dir, "/", kind, "-", key.hex(), ".art");
+}
+
+void ArtifactStore::insert_locked(std::string&& mapkey, Ptr value) {
+  auto it = map_.find(mapkey);
+  if (it != map_.end()) {
+    // Benign double compute (or promotion race): keep the existing entry,
+    // both values are identical by keying discipline.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front({mapkey, std::move(value)});
+  map_[std::move(mapkey)] = lru_.begin();
+  while (lru_.size() > opt_.capacity) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+ArtifactStore::Ptr ArtifactStore::get(std::string_view kind,
+                                      const Hash256& key,
+                                      const Deserializer& des) {
+  std::string mapkey = cat(kind, ":", key.hex());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(mapkey);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.hits;
+      return it->second->value;
+    }
+  }
+  if (!opt_.dir.empty() && des) {
+    std::string path = disk_path(kind, key);
+    std::string body;
+    if (fs::exists(path)) {
+      Ptr value;
+      if (read_artifact_file(path, kind, &body)) {
+        try {
+          value = des(body);
+        } catch (const std::exception&) {
+          value = nullptr;  // deserializer rejected the body
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      if (value) {
+        ++stats_.disk_hits;
+        insert_locked(std::move(mapkey), value);
+        return value;
+      }
+      // Corrupt: discard, never trust. The caller recomputes and put()
+      // rewrites a good entry.
+      ++stats_.disk_corrupt;
+      std::error_code ec;
+      fs::remove(path, ec);
+      ++stats_.misses;
+      return nullptr;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.misses;
+  return nullptr;
+}
+
+void ArtifactStore::put(std::string_view kind, const Hash256& key, Ptr value,
+                        const std::string& serialized) {
+  DESYN_ASSERT(value != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    insert_locked(cat(kind, ":", key.hex()), std::move(value));
+  }
+  if (opt_.dir.empty() || serialized.empty()) return;
+  // Atomic publish: a reader sees either no file or a complete one.
+  std::string path = disk_path(kind, key);
+  std::string tmp = cat(path, ".tmp.", ::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    if (!out) return;  // disk tier is best-effort; memory tier has it
+    out << with_integrity_header(kind, serialized);
+    if (!out.good()) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) fs::remove(tmp, ec);
+}
+
+ArtifactStore::Stats ArtifactStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t ArtifactStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+void ArtifactStore::clear_memory() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  map_.clear();
+}
+
+std::string with_integrity_header(std::string_view kind,
+                                  const std::string& body) {
+  return cat(kind, "-v1 ", sha256(body).hex(), "\n", body);
+}
+
+bool read_artifact_file(const std::string& path, std::string_view kind,
+                        std::string* body) {
+  body->clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string text = std::move(ss).str();
+  size_t nl = text.find('\n');
+  if (nl == std::string::npos) return false;
+  std::string header = text.substr(0, nl);
+  std::string want_prefix = cat(kind, "-v1 ");
+  if (!starts_with(header, want_prefix)) return false;
+  std::string digest = header.substr(want_prefix.size());
+  *body = text.substr(nl + 1);
+  if (sha256(*body).hex() != digest) {
+    body->clear();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace desyn::flow

@@ -1,0 +1,179 @@
+// The staged flow engine: the desynchronization flow as a pipeline of
+// content-addressed stages over an ArtifactStore.
+//
+//   partition  ->  latchify  ->  adjacency  ->  synth  ->  mcr  ->  result
+//
+// Every stage produces an immutable artifact keyed by a canonical hash of
+// exactly the inputs that stage depends on:
+//
+//   partition   H(tech, census | ff_hash, strategy knobs)
+//   latchify    H(tech, ff_hash, clock, partition key)
+//   adjacency   H(tech, latchify key, margin, protocol)
+//   synth       H(tech, latchify key, margin, protocol)
+//   mcr         H(tech, cg content hash, protocol)
+//   result      H(tech, ff_hash, clock, partition key, margin, protocol)
+//
+// Re-submitting an unchanged design is a pure result-cache hit: no stage
+// runs, the stored Verilog is returned. An *edited* design re-runs only
+// the stages whose inputs actually changed; on top of that, per-design
+// lineage enables three ECO fast paths when the edit is field-only (cell
+// kind within the same pin structure, init value, payload contents):
+//
+//   * adjacency: cone-limited re-timing via extract_control_graph_eco —
+//     only source banks whose output cone contains a changed cell re-run
+//     sparse STA, every other matched delay is copied.
+//   * synth: when the edit does not move any matched delay (cg hash
+//     unchanged), the previous synthesized netlist is copied and the
+//     field edits are replayed onto the same cell ids — no controller
+//     re-synthesis.
+//   * mcr: when the timed model's structure is unchanged, the previous
+//     Howard context is warm-restarted (bit-equal ratios by the
+//     McrContext contract).
+//
+// Determinism contract: every cached, ECO-patched or warm-started result
+// is byte-identical to what the cold monolithic flow
+// (desynchronize_reference) produces for the same canonical content.
+// Hash keys address canonical content, not bytes: two netlists that
+// differ only in construction order share artifacts, and both receive
+// the first submission's (semantically equivalent) output bytes.
+//
+// Thread safety: a single Engine may be used from many threads (the
+// persistent server does); stages compute outside the locks, double
+// computation on a racing miss is benign.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/desynchronizer.h"
+#include "flow/artifact.h"
+#include "netlist/hash.h"
+
+namespace desyn::flow {
+
+struct EngineOptions {
+  size_t capacity = 96;   ///< in-memory artifact entries before eviction
+  std::string cache_dir;  ///< on-disk artifact tier; empty = memory only
+};
+
+/// What ran vs. what was served — the observable behavior of the staged
+/// pipeline, pinned by the engine tests (cached-vs-cold, ECO scenarios).
+struct StageCounters {
+  size_t runs = 0;            ///< flow submissions (run/desynchronize)
+  size_t result_hits = 0;     ///< submissions answered by the result cache
+  size_t partition_runs = 0;
+  size_t partition_hits = 0;
+  size_t latchify_runs = 0;
+  size_t latchify_hits = 0;
+  size_t adjacency_runs = 0;  ///< full STA extractions
+  size_t adjacency_hits = 0;
+  size_t adjacency_eco = 0;   ///< cone-limited ECO re-extractions
+  size_t eco_banks_retimed = 0;  ///< source-bank STA reruns across all ECOs
+  size_t synth_runs = 0;      ///< full controller synthesis
+  size_t synth_hits = 0;
+  size_t synth_patched = 0;   ///< field-patch replays of a cached synth
+  size_t mcr_runs = 0;        ///< cold Howard solves
+  size_t mcr_hits = 0;
+  size_t mcr_warm = 0;        ///< warm-restarted Howard solves
+  size_t optimize_runs = 0;   ///< partition-optimizer searches
+  size_t optimize_hits = 0;
+};
+
+/// The summary a flow submission reports (the server's response payload;
+/// field split matches verif::check_flow_equivalence's cost accounting).
+struct FlowStats {
+  size_t banks = 0;             ///< control banks incl. the env pair
+  size_t controller_cells = 0;  ///< handshake cells excluding delay lines
+  size_t delay_cells = 0;       ///< matched-delay DELAY cells
+  size_t cells_in = 0;          ///< live cells of the submitted netlist
+  size_t cells_out = 0;         ///< live cells of the desynchronized one
+  double predicted_period_ps = 0;  ///< Howard max-cycle-ratio prediction
+};
+
+struct FlowOutcome {
+  std::shared_ptr<const std::string> verilog;  ///< the emitted circuit
+  FlowStats stats;
+  bool cached = false;  ///< true when served from the result cache
+};
+
+class Engine {
+ public:
+  /// `tech` must outlive the engine (it is a process-lifetime registry in
+  /// every current caller).
+  explicit Engine(const cell::Tech& tech, const EngineOptions& opt = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Submit a flow: run (or serve) every stage through the MCR period
+  /// prediction and return the emitted Verilog plus summary stats.
+  FlowOutcome run(const nl::Netlist& ff_netlist, nl::NetId clock,
+                  const DesyncOptions& opt);
+
+  /// The staged equivalent of desynchronize_reference(): everything up to
+  /// and including controller synthesis, served from the artifact cache.
+  /// The returned result is immutable and shared with the cache.
+  std::shared_ptr<const DesyncResult> desynchronize(
+      const nl::Netlist& ff_netlist, nl::NetId clock,
+      const DesyncOptions& opt);
+
+  /// Cached optimize_partition(): keyed on the search knobs that shape the
+  /// result (`opt.jobs` is excluded — results are byte-identical for any
+  /// job count).
+  std::shared_ptr<const PartitionOptResult> optimize(
+      const nl::Netlist& ff_netlist, nl::NetId clock,
+      const PartitionOptOptions& opt);
+
+  StageCounters counters() const;
+  ArtifactStore::Stats store_stats() const;
+  const cell::Tech& tech() const { return tech_; }
+
+  /// The process-wide engine for `tech` (memory tier only) — what the
+  /// flow::desynchronize() free function routes through. One engine per
+  /// tech name, created on first use, never destroyed.
+  static Engine& process(const cell::Tech& tech);
+
+ private:
+  struct LatchArtifact;
+  struct AdjArtifact;
+  struct SynthArtifact;
+  struct McrArtifact;
+
+  /// Per-design stage lineage: the previous submission's artifacts under
+  /// the same (design name, clock, strategy, margin, protocol) coordinate,
+  /// kept so the *next* submission of an edited design can diff against
+  /// them and take the ECO fast paths. Bounded (see kMaxLineage).
+  struct Lineage {
+    std::shared_ptr<const LatchArtifact> latch;
+    std::shared_ptr<const AdjArtifact> adj;
+    std::shared_ptr<const SynthArtifact> synth;
+    std::shared_ptr<const McrArtifact> mcr;
+  };
+
+  /// Everything run() needs beyond what desynchronize() returns.
+  struct Stages {
+    std::shared_ptr<const SynthArtifact> synth;
+    std::shared_ptr<const AdjArtifact> adj;
+    Hash256 lineage_key;
+  };
+
+  Stages run_stages(const nl::Netlist& ff, nl::NetId clock,
+                    const DesyncOptions& opt, const Hash256& ff_hash,
+                    const Hash256& part_key);
+  std::shared_ptr<const McrArtifact> mcr_stage(const AdjArtifact& adj,
+                                               ctl::Protocol protocol,
+                                               const Hash256& lineage_key);
+  Hash256 partition_key(const nl::Netlist& ff, nl::NetId clock,
+                        const DesyncOptions& opt, const Hash256& ff_hash);
+  Lineage lineage_snapshot(const Hash256& key) const;
+
+  const cell::Tech& tech_;
+  ArtifactStore store_;
+  mutable std::mutex mu_;  ///< counters_ + lineage_
+  StageCounters counters_;
+  std::unordered_map<Hash256, Lineage> lineage_;
+};
+
+}  // namespace desyn::flow

@@ -1,0 +1,29 @@
+// Canonical content hash of a netlist — the cache-key primitive of the
+// flow engine.
+//
+// Two netlists get the same hash iff they describe the same circuit in
+// the same module: same module name, same primary ports, and the same
+// set of (uniquely named) cells with identical kinds, attributes
+// (init/p0/p1/group), payload contents, and pin-to-net-name connectivity.
+// The hash is *representation independent*: cell/net insertion order, id
+// numbering, tombstone positions, payload-table indices and port
+// declaration order do not affect it. It is *content sensitive*: renaming
+// a net, rewiring a pin, flipping an init value or editing one ROM word
+// all change it.
+//
+// The engine treats hash equality as content equality (256-bit digest;
+// see base/sha256.h), so a cached artifact answers for every
+// representation of the same canonical content.
+#pragma once
+
+#include "base/sha256.h"
+#include "netlist/netlist.h"
+
+namespace desyn::nl {
+
+/// Canonical hash of `nl` as described above. Cost is one sort of the
+/// live cell names plus one SHA-256 pass — cheap enough to run per flow
+/// submission.
+Hash256 content_hash(const Netlist& nl);
+
+}  // namespace desyn::nl

@@ -83,6 +83,13 @@ class Netlist {
 
   void set_group(CellId c, int32_t g) { cell_mut(c).group = g; }
   void set_init(CellId c, cell::V v) { cell_mut(c).init = v; }
+  /// Replace the contents of payload slot `idx` (ROM/RAM ECO). The word
+  /// count must match: payload shape is structure, contents are data.
+  void replace_payload(int32_t idx, std::vector<uint64_t> words) {
+    DESYN_ASSERT(idx >= 0 && static_cast<size_t>(idx) < payloads_.size());
+    DESYN_ASSERT(payloads_[static_cast<size_t>(idx)].size() == words.size());
+    payloads_[static_cast<size_t>(idx)] = std::move(words);
+  }
   /// Swap the cell kind for another with identical pin structure (used by
   /// the flow to flip latch polarity when enables move to pulse control).
   void set_kind(CellId c, cell::Kind k) {

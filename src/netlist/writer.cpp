@@ -1,5 +1,6 @@
 #include "netlist/writer.h"
 
+#include <charconv>
 #include <ostream>
 #include <sstream>
 
@@ -7,96 +8,150 @@ namespace desyn::nl {
 
 namespace {
 
-std::string esc(const std::string& name) { return cat("\\", name, " "); }
+// The writer is on the flow engine's per-result path (every cold run and
+// every ECO re-run materializes fresh Verilog), so it builds into a plain
+// string with append — no per-cell stream construction, no per-token
+// ostream sentry — and hands the buffer to the stream in one write.
+void app_esc(std::string& out, const std::string& name) {
+  out += '\\';
+  out += name;
+  out += ' ';
+}
+
+void app_u64(std::string& out, uint64_t v, int base = 10) {
+  char b[24];
+  char* end = std::to_chars(b, b + sizeof b, v, base).ptr;
+  out.append(b, end);
+}
+
+void app_i64(std::string& out, int64_t v) {
+  char b[24];
+  char* end = std::to_chars(b, b + sizeof b, v).ptr;
+  out.append(b, end);
+}
+
+void app_type(std::string& out, const CellData& cd) {
+  out += cell::kind_name(cd.kind);
+  if (cell::is_variable_arity(cd.kind)) app_u64(out, cd.ins.size());
+}
+
+void append_verilog(const Netlist& nl, std::string& out) {
+  out.reserve(out.size() + 24 * nl.num_nets() + 112 * nl.num_live_cells());
+  out += "// structural netlist written by desyn\n";
+  out += "module ";
+  app_esc(out, nl.name());
+  out += "(\n";
+  bool first = true;
+  for (NetId in : nl.inputs()) {
+    out += first ? "  " : ",\n  ";
+    out += "input ";
+    app_esc(out, nl.net(in).name);
+    first = false;
+  }
+  for (NetId o : nl.outputs()) {
+    out += first ? "  " : ",\n  ";
+    out += "output ";
+    app_esc(out, nl.net(o).name);
+    first = false;
+  }
+  out += "\n);\n";
+
+  // Wire declarations for all non-port nets.
+  std::vector<bool> is_output(nl.num_nets(), false);
+  for (NetId o : nl.outputs()) is_output[o.value()] = true;
+  for (uint32_t ni = 0; ni < nl.num_nets(); ++ni) {
+    NetId id(ni);
+    if (nl.is_primary_input(id) || is_output[ni]) continue;
+    out += "  wire ";
+    app_esc(out, nl.net(id).name);
+    out += ";\n";
+  }
+
+  std::string attrs;
+  for (CellId c : nl.cells()) {
+    const CellData& cd = nl.cell(c);
+    // Attributes: initial value, macro parameters, contents.
+    attrs.clear();
+    auto sep = [&] {
+      if (!attrs.empty()) attrs += ", ";
+    };
+    if (cd.init != cell::V::V0 &&
+        (cell::is_storage(cd.kind) || cell::is_state_holding(cd.kind))) {
+      attrs += "init = ";
+      app_i64(attrs, static_cast<int>(cd.init));
+    }
+    if (cd.kind == cell::Kind::Rom || cd.kind == cell::Kind::Ram) {
+      sep();
+      attrs += "p0 = ";
+      app_u64(attrs, cd.p0);
+      attrs += ", p1 = ";
+      app_u64(attrs, cd.p1);
+      if (cd.payload >= 0) {
+        attrs += ", payload = \"";
+        const auto& words = nl.payload(cd.payload);
+        for (size_t i = 0; i < words.size(); ++i) {
+          if (i) attrs += ',';
+          app_u64(attrs, words[i], 16);
+        }
+        attrs += '"';
+      }
+    }
+    if (cd.group >= 0) {
+      sep();
+      attrs += "group = ";
+      app_i64(attrs, cd.group);
+    }
+    if (!attrs.empty()) {
+      out += "  (* ";
+      out += attrs;
+      out += " *)\n";
+    }
+
+    out += "  ";
+    app_type(out, cd);
+    out += ' ';
+    app_esc(out, cd.name);
+    out += '(';
+    bool fp = true;
+    for (size_t i = 0; i < cd.ins.size(); ++i) {
+      out += fp ? " ." : ", .";
+      out += cell::input_pin_name(cd.kind, static_cast<int>(i), cd.p0, cd.p1);
+      out += '(';
+      app_esc(out, nl.net(cd.ins[i]).name);
+      out += ')';
+      fp = false;
+    }
+    for (size_t o = 0; o < cd.outs.size(); ++o) {
+      out += fp ? " ." : ", .";
+      out += cell::output_pin_name(cd.kind, static_cast<int>(o), cd.p0, cd.p1);
+      out += '(';
+      app_esc(out, nl.net(cd.outs[o]).name);
+      out += ')';
+      fp = false;
+    }
+    out += " );\n";
+  }
+  out += "endmodule\n";
+}
 
 }  // namespace
 
 std::string verilog_type(const CellData& cd) {
-  std::string t = cell::kind_name(cd.kind);
-  if (cell::is_variable_arity(cd.kind)) t += cat(cd.ins.size());
+  std::string t;
+  app_type(t, cd);
   return t;
 }
 
 void write_verilog(const Netlist& nl, std::ostream& os) {
-  os << "// structural netlist written by desyn\n";
-  os << "module " << esc(nl.name()) << "(\n";
-  bool first = true;
-  for (NetId in : nl.inputs()) {
-    os << (first ? "  " : ",\n  ") << "input " << esc(nl.net(in).name);
-    first = false;
-  }
-  for (NetId out : nl.outputs()) {
-    os << (first ? "  " : ",\n  ") << "output " << esc(nl.net(out).name);
-    first = false;
-  }
-  os << "\n);\n";
-
-  // Wire declarations for all non-port nets.
-  for (uint32_t ni = 0; ni < nl.num_nets(); ++ni) {
-    NetId id(ni);
-    if (nl.is_primary_input(id)) continue;
-    bool is_out = false;
-    for (NetId o : nl.outputs()) {
-      if (o == id) { is_out = true; break; }
-    }
-    if (is_out) continue;
-    os << "  wire " << esc(nl.net(id).name) << ";\n";
-  }
-
-  for (CellId c : nl.cells()) {
-    const CellData& cd = nl.cell(c);
-    // Attributes: initial value, macro parameters, contents.
-    std::ostringstream attrs;
-    bool have = false;
-    auto add = [&](const std::string& s) {
-      attrs << (have ? ", " : "") << s;
-      have = true;
-    };
-    if (cd.init != cell::V::V0 &&
-        (cell::is_storage(cd.kind) || cell::is_state_holding(cd.kind))) {
-      add(cat("init = ", static_cast<int>(cd.init)));
-    }
-    if (cd.kind == cell::Kind::Rom || cd.kind == cell::Kind::Ram) {
-      add(cat("p0 = ", cd.p0));
-      add(cat("p1 = ", cd.p1));
-      if (cd.payload >= 0) {
-        std::ostringstream pl;
-        pl << "payload = \"";
-        const auto& words = nl.payload(cd.payload);
-        for (size_t i = 0; i < words.size(); ++i) {
-          if (i) pl << ",";
-          pl << std::hex << words[i] << std::dec;
-        }
-        pl << "\"";
-        add(pl.str());
-      }
-    }
-    if (cd.group >= 0) add(cat("group = ", cd.group));
-    if (have) os << "  (* " << attrs.str() << " *)\n";
-
-    os << "  " << verilog_type(cd) << " " << esc(cd.name) << "(";
-    bool fp = true;
-    for (size_t i = 0; i < cd.ins.size(); ++i) {
-      os << (fp ? " " : ", ") << "."
-         << cell::input_pin_name(cd.kind, static_cast<int>(i), cd.p0, cd.p1)
-         << "(" << esc(nl.net(cd.ins[i]).name) << ")";
-      fp = false;
-    }
-    for (size_t o = 0; o < cd.outs.size(); ++o) {
-      os << (fp ? " " : ", ") << "."
-         << cell::output_pin_name(cd.kind, static_cast<int>(o), cd.p0, cd.p1)
-         << "(" << esc(nl.net(cd.outs[o]).name) << ")";
-      fp = false;
-    }
-    os << " );\n";
-  }
-  os << "endmodule\n";
+  std::string buf;
+  append_verilog(nl, buf);
+  os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
 }
 
 std::string to_verilog(const Netlist& nl) {
-  std::ostringstream os;
-  write_verilog(nl, os);
-  return os.str();
+  std::string buf;
+  append_verilog(nl, buf);
+  return buf;
 }
 
 void write_dot(const Netlist& nl, std::ostream& os) {

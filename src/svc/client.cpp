@@ -1,0 +1,93 @@
+#include "svc/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "base/common.h"
+#include "base/json.h"
+
+namespace desyn::svc {
+
+Client::Client(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    fail("socket path too long: ", socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) fail("socket(): ", std::strerror(errno));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    fail("connect(", socket_path, "): ", std::strerror(err));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string Client::roundtrip(const std::string& request) {
+  DESYN_ASSERT(request.find('\n') == std::string::npos,
+               "request must be a single line");
+  std::string line = request;
+  line += '\n';
+  size_t off = 0;
+  while (off < line.size()) {
+    ssize_t w = ::write(fd_, line.data() + off, line.size() - off);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) fail("server closed the connection while writing");
+    off += static_cast<size_t>(w);
+  }
+  char chunk[65536];
+  for (;;) {
+    size_t eol = buf_.find('\n');
+    if (eol != std::string::npos) {
+      std::string response = buf_.substr(0, eol);
+      buf_.erase(0, eol + 1);
+      return response;
+    }
+    ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) fail("server closed the connection while reading");
+    buf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+std::string make_request(const std::string& verilog, const std::string& clock,
+                         const std::string& strategy, double margin,
+                         const std::string& protocol) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4f", margin);
+  return cat("{\"verilog\": \"", json::escape(verilog), "\", \"clock\": \"",
+             json::escape(clock), "\", \"strategy\": \"",
+             json::escape(strategy), "\", \"margin\": ", buf,
+             ", \"protocol\": \"", json::escape(protocol), "\"}");
+}
+
+std::string extract_result(const std::string& response) {
+  // The response layout is fixed (server.cpp): ... , "result": {...}}
+  // Raw extraction — not a parse/re-serialize round trip — keeps the
+  // saved bytes exactly what the server emitted.
+  json::Value v = json::parse(response);  // reject garbage first
+  if (const json::Value* err = v.get("error")) {
+    fail("server error (", err->get_string("kind", "?"),
+         "): ", err->get_string("message", "?"));
+  }
+  const std::string marker = "\"result\": ";
+  size_t pos = response.find(marker);
+  if (!v.get("result") || pos == std::string::npos || response.empty() ||
+      response.back() != '}') {
+    fail("malformed server response");
+  }
+  return response.substr(pos + marker.size(),
+                         response.size() - (pos + marker.size()) - 1);
+}
+
+}  // namespace desyn::svc

@@ -1,0 +1,42 @@
+// Thin blocking client for the desyn server (see server.h for the
+// protocol). One connection, sequential request/response round trips —
+// what the CLI's `submit` subcommand and the stress tests need.
+#pragma once
+
+#include <string>
+
+namespace desyn::svc {
+
+class Client {
+ public:
+  /// Connect to the server's unix socket. Throws Error when the socket is
+  /// absent or refuses the connection.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send one request line and block for the response line. `request`
+  /// must not contain '\n' (the protocol's line delimiter); the returned
+  /// response has its delimiter stripped. Throws Error when the server
+  /// hangs up mid-round-trip.
+  std::string roundtrip(const std::string& request);
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  ///< bytes read past the last response line
+};
+
+/// Build a desyn-svc-v1 request line from the flow inputs.
+std::string make_request(const std::string& verilog, const std::string& clock,
+                         const std::string& strategy, double margin,
+                         const std::string& protocol);
+
+/// Extract the raw bytes of the "result" object from a successful
+/// response line — exactly as the server emitted them, so saved results
+/// compare byte-identically across cached and cold submissions. Throws
+/// Error (quoting any server error) when the response is not a success.
+std::string extract_result(const std::string& response);
+
+}  // namespace desyn::svc

@@ -1,0 +1,222 @@
+#include "svc/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "base/json.h"
+#include "netlist/reader.h"
+
+namespace desyn::svc {
+
+namespace {
+
+std::string error_response(const char* kind, const std::string& message) {
+  return cat("{\"schema\": \"desyn-svc-v1\", \"error\": {\"kind\": \"", kind,
+             "\", \"message\": \"", json::escape(message), "\"}}");
+}
+
+/// The "result" object (sweep-v2 vocabulary + the emitted circuit). The
+/// bytes are deterministic and independent of cache state — the CI smoke
+/// job compares two submissions' saved results with cmp.
+std::string result_object(const std::string& circuit,
+                          const std::string& strategy, const char* protocol,
+                          double margin, const flow::FlowOutcome& out) {
+  char buf[160];
+  std::string s = cat("{\"circuit\": \"", json::escape(circuit),
+                      "\", \"strategy\": \"", json::escape(strategy),
+                      "\", \"protocol\": \"", protocol, "\",");
+  std::snprintf(buf, sizeof buf, " \"margin\": %.4f,", margin);
+  s += buf;
+  s += cat(" \"banks\": ", out.stats.banks,
+           ", \"controller_cells\": ", out.stats.controller_cells,
+           ", \"delay_cells\": ", out.stats.delay_cells,
+           ", \"sync_cells\": ", out.stats.cells_in,
+           ", \"desync_cells\": ", out.stats.cells_out, ",");
+  std::snprintf(buf, sizeof buf, " \"predicted_period_ps\": %.6f,",
+                out.stats.predicted_period_ps);
+  s += buf;
+  s += cat(" \"verilog\": \"", json::escape(*out.verilog), "\"}");
+  return s;
+}
+
+}  // namespace
+
+Server::Server(const cell::Tech& tech, const ServerOptions& opt)
+    : tech_(tech),
+      opt_(opt),
+      engine_(tech, flow::EngineOptions{opt.capacity, opt.cache_dir}) {
+  DESYN_ASSERT(opt_.threads > 0);
+}
+
+Server::~Server() { stop(); }
+
+std::string Server::handle_request(const std::string& line) {
+  json::Value req;
+  try {
+    req = json::parse(line);
+  } catch (const std::exception& e) {
+    return error_response("parse", e.what());
+  }
+
+  // Decode + validate the request fields.
+  flow::DesyncOptions opt;
+  std::string strategy_label;
+  const char* protocol_name = nullptr;
+  nl::NetId clock;
+  std::unique_ptr<nl::Netlist> ff;
+  try {
+    if (!req.is_object()) fail("request must be a JSON object");
+    const json::Value* verilog = req.get("verilog");
+    if (!verilog || !verilog->is_string()) {
+      fail("missing string field 'verilog'");
+    }
+    const json::Value* clock_name = req.get("clock");
+    if (!clock_name || !clock_name->is_string()) {
+      fail("missing string field 'clock'");
+    }
+    opt.strategy =
+        flow::PartitionSpec::parse(req.get_string("strategy", "prefix"));
+    strategy_label = opt.strategy.label();
+    opt.margin = req.get_number("margin", 1.1);
+    if (!(opt.margin >= 1.0) || !(opt.margin <= 100.0)) {
+      fail("margin must be in [1, 100]");
+    }
+    opt.protocol = ctl::parse_protocol(req.get_string("protocol", "pulse"));
+    protocol_name = ctl::protocol_name(opt.protocol);
+    ff = std::make_unique<nl::Netlist>(
+        nl::read_verilog(verilog->string, "<request>"));
+    clock = ff->find_net(clock_name->string);
+    if (!clock.valid()) {
+      fail("no net named '", clock_name->string, "' in the circuit");
+    }
+  } catch (const std::exception& e) {
+    return error_response("request", e.what());
+  }
+
+  // Run (or serve) the flow.
+  flow::FlowOutcome out;
+  try {
+    out = engine_.run(*ff, clock, opt);
+  } catch (const std::exception& e) {
+    return error_response("flow", e.what());
+  }
+  return cat("{\"schema\": \"desyn-svc-v1\", \"cached\": ",
+             out.cached ? "true" : "false", ", \"result\": ",
+             result_object(ff->name(), strategy_label, protocol_name,
+                           opt.margin, out),
+             "}");
+}
+
+void Server::start() {
+  DESYN_ASSERT(listen_fd_ < 0, "server already running");
+  if (opt_.socket_path.empty()) fail("server needs a socket path");
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opt_.socket_path.size() >= sizeof(addr.sun_path)) {
+    fail("socket path too long: ", opt_.socket_path);
+  }
+  std::memcpy(addr.sun_path, opt_.socket_path.c_str(),
+              opt_.socket_path.size() + 1);
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket(): ", std::strerror(errno));
+  ::unlink(opt_.socket_path.c_str());  // replace a stale socket file
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    int err = errno;
+    ::close(fd);
+    fail("bind(", opt_.socket_path, "): ", std::strerror(err));
+  }
+  if (::listen(fd, 64) < 0) {
+    int err = errno;
+    ::close(fd);
+    ::unlink(opt_.socket_path.c_str());
+    fail("listen(): ", std::strerror(err));
+  }
+  listen_fd_ = fd;
+  workers_.reserve(static_cast<size_t>(opt_.threads));
+  for (int i = 0; i < opt_.threads; ++i) {
+    workers_.emplace_back([this] { worker(); });
+  }
+}
+
+void Server::stop() {
+  if (listen_fd_ < 0) return;
+  // Workers blocked in accept() return with an error once the listener is
+  // shut down; the fd stays open until they have all exited so none of
+  // them can race against a re-used descriptor number.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    // Workers blocked in read() on an idle connection would never notice
+    // the listener going away: half-close every live connection so their
+    // reads return 0. SHUT_RD only — a worker mid-request can still write
+    // its response before dropping the connection.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    stopping_ = true;
+    for (int fd : conns_) ::shutdown(fd, SHUT_RD);
+  }
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(opt_.socket_path.c_str());
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  stopping_ = false;  // the server may be start()ed again
+}
+
+void Server::worker() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (or fatally broken): worker exits
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (stopping_) {  // queued behind stop(): drop, don't serve
+        ::close(fd);
+        continue;
+      }
+      conns_.insert(fd);
+    }
+    serve_connection(fd);
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conns_.erase(fd);
+    }
+    ::close(fd);
+  }
+}
+
+void Server::serve_connection(int fd) {
+  std::string buf;
+  char chunk[65536];
+  for (;;) {
+    ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // client closed (or error): drop the connection
+    buf.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t eol; (eol = buf.find('\n', start)) != std::string::npos;
+         start = eol + 1) {
+      std::string line = buf.substr(start, eol - start);
+      if (line.empty()) continue;  // blank lines are keep-alive no-ops
+      std::string response = handle_request(line);
+      response += '\n';
+      size_t off = 0;
+      while (off < response.size()) {
+        ssize_t w = ::write(fd, response.data() + off, response.size() - off);
+        if (w < 0 && errno == EINTR) continue;
+        if (w <= 0) return;  // client gone mid-response
+        off += static_cast<size_t>(w);
+      }
+    }
+    buf.erase(0, start);
+  }
+}
+
+}  // namespace desyn::svc

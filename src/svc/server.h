@@ -1,0 +1,99 @@
+// The persistent desyn server: a flow engine behind a unix socket.
+//
+// Protocol (schema "desyn-svc-v1"): line-delimited JSON, one request per
+// line, one response per line, over an AF_UNIX stream socket. A request
+// names a circuit and the flow knobs:
+//
+//   {"verilog": "<structural verilog>", "clock": "clk",
+//    "strategy": "prefix:1", "margin": 1.1, "protocol": "pulse"}
+//
+// strategy/margin/protocol are optional (defaults: prefix, 1.1, pulse).
+// A successful response reuses the desyn-sweep-v2 cell vocabulary and
+// carries the emitted circuit:
+//
+//   {"schema": "desyn-svc-v1", "cached": <bool>, "result":
+//     {"circuit": ..., "strategy": ..., "protocol": ..., "margin": ...,
+//      "banks": ..., "controller_cells": ..., "delay_cells": ...,
+//      "sync_cells": ..., "desync_cells": ...,
+//      "predicted_period_ps": ..., "verilog": "..."}}
+//
+// "cached" reports whether the engine served the submission from its
+// result cache; the "result" object is byte-identical either way. Every
+// failure is a typed error response — the connection (and the server)
+// survives malformed input:
+//
+//   {"schema": "desyn-svc-v1", "error": {"kind": "parse|request|flow",
+//                                        "message": "..."}}
+//
+//   parse    the line is not valid JSON
+//   request  the JSON is missing/invalid fields (bad strategy name,
+//            unknown clock net, unreadable circuit, margin out of range)
+//   flow     the flow itself rejected the design (e.g. multiple clocks)
+//
+// Concurrency: a small fixed pool of worker threads accepts and serves
+// connections; all workers share one Engine (stage artifacts computed for
+// one client are served to every other).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flow/engine.h"
+
+namespace desyn::svc {
+
+struct ServerOptions {
+  std::string socket_path;  ///< required: where to bind the unix socket
+  int threads = 2;          ///< worker pool size
+  size_t capacity = 96;     ///< engine artifact-store capacity (entries)
+  std::string cache_dir;    ///< optional on-disk artifact tier
+};
+
+class Server {
+ public:
+  /// `tech` must outlive the server.
+  Server(const cell::Tech& tech, const ServerOptions& opt);
+  ~Server();  ///< stop()s if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen on the socket and launch the worker pool. Throws Error
+  /// when the socket cannot be created (path too long, bind failure). A
+  /// stale socket file at the path is replaced.
+  void start();
+
+  /// Shut the listener down, join the workers, unlink the socket file.
+  /// Idempotent. In-flight requests finish (their responses are written);
+  /// idle and queued connections are dropped.
+  void stop();
+
+  bool running() const { return listen_fd_ >= 0; }
+  const std::string& socket_path() const { return opt_.socket_path; }
+  flow::Engine& engine() { return engine_; }
+
+  /// Handle one request line (without trailing newline) and return the
+  /// response line (without trailing newline). Exposed so tests can
+  /// exercise the protocol without a socket, and the CLI's single-shot
+  /// path can share the exact response bytes.
+  std::string handle_request(const std::string& line);
+
+ private:
+  void worker();
+  void serve_connection(int fd);
+
+  const cell::Tech& tech_;
+  ServerOptions opt_;
+  flow::Engine engine_;
+  int listen_fd_ = -1;
+  std::vector<std::thread> workers_;
+  std::mutex conn_mu_;   ///< guards conns_ + stopping_
+  std::set<int> conns_;  ///< accepted connections still being served
+  bool stopping_ = false;
+};
+
+}  // namespace desyn::svc

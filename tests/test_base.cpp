@@ -4,6 +4,8 @@
 
 #include <set>
 
+#include "base/sha256.h"
+
 namespace desyn {
 namespace {
 
@@ -84,6 +86,78 @@ TEST(StartsWith, Basics) {
   EXPECT_TRUE(starts_with("foobar", "foo"));
   EXPECT_FALSE(starts_with("fo", "foo"));
   EXPECT_TRUE(starts_with("x", ""));
+}
+
+// ---------------------------------------------------------------------------
+// SHA-256 — pinned against the FIPS 180-4 test vectors. The implementation
+// dispatches to a hardware (SHA-NI) compressor when the CPU has one, so
+// these vectors guard both code paths on whatever machine runs them.
+// ---------------------------------------------------------------------------
+
+TEST(Sha256, Fips180Vectors) {
+  EXPECT_EQ(
+      sha256("").hex(),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      sha256("abc").hex(),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  // Two-block message (56 bytes: the padding spills into a second block).
+  EXPECT_EQ(
+      sha256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").hex(),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  // The classic long-message vector; exercises the multi-block bulk path
+  // (and the hardware compressor's block loop when present).
+  Sha256 h;
+  std::string a(1000000, 'a');
+  h.update(a);
+  EXPECT_EQ(
+      h.digest().hex(),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ChunkedFeedingMatchesOneShot) {
+  // Any split of the input across update() calls produces the same digest:
+  // buffered partial blocks and the bulk fast path must agree.
+  std::string data(10000, '\0');
+  Rng rng(99);
+  for (char& c : data) c = static_cast<char>(rng.below(256));
+  const Hash256 want = sha256(data);
+  for (size_t chunk : {1u, 7u, 63u, 64u, 65u, 192u, 4096u}) {
+    Sha256 h;
+    for (size_t off = 0; off < data.size(); off += chunk) {
+      h.update(data.data() + off, std::min(chunk, data.size() - off));
+    }
+    EXPECT_EQ(h.digest(), want) << "chunk " << chunk;
+  }
+}
+
+TEST(Sha256, FieldMixersDoNotAlias) {
+  // Length-prefixed fields: ("ab","c") and ("a","bc") must differ, as must
+  // a field boundary vs. raw concatenation.
+  Sha256 a, b, c;
+  a.field("ab").field("c");
+  b.field("a").field("bc");
+  c.field("abc");
+  Hash256 ha = a.digest(), hb = b.digest(), hc = c.digest();
+  EXPECT_NE(ha, hb);
+  EXPECT_NE(ha, hc);
+  EXPECT_NE(hb, hc);
+
+  Sha256 u, v;
+  u.field_u64(1).field_u64(2);
+  v.field_u64(2).field_u64(1);
+  EXPECT_NE(u.digest(), v.digest());
+}
+
+TEST(Sha256, HexIsLowercase64Chars) {
+  std::string hex = sha256("x").hex();
+  EXPECT_EQ(hex.size(), 64u);
+  for (char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+  }
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include "circuits/circuits.h"
 #include "netlist/builder.h"
+#include "netlist/hash.h"
 #include "netlist/query.h"
 #include "netlist/reader.h"
 #include "netlist/writer.h"
@@ -362,6 +363,107 @@ TEST(Netlist, PayloadStorage) {
   int32_t p = nl.add_payload({1, 2, 3});
   EXPECT_EQ(nl.payload(p).size(), 3u);
   EXPECT_EQ(nl.payload(p)[2], 3u);
+}
+
+// ---------------------------------------------------------------------------
+// content_hash — the flow engine's cache-key primitive. Representation
+// independent, content sensitive (see netlist/hash.h).
+// ---------------------------------------------------------------------------
+
+/// Two-flip-flop toy with one XOR; `swapped` reverses every insertion
+/// order the builder controls without changing the circuit.
+Netlist hash_toy(bool swapped, const std::string& module = "toy") {
+  Netlist nl(module);
+  Builder b(nl);
+  if (swapped) {
+    NetId d1 = b.input("d1");
+    NetId d0 = b.input("d0");
+    NetId clk = b.input("clk");
+    NetId qb = b.dff(d1, clk, cell::V::V1, "r.b");
+    NetId qa = b.dff(d0, clk, cell::V::V0, "r.a");
+    NetId x = b.xor_(qa, qb, "x");
+    b.output(x);
+  } else {
+    NetId clk = b.input("clk");
+    NetId d0 = b.input("d0");
+    NetId d1 = b.input("d1");
+    NetId qa = b.dff(d0, clk, cell::V::V0, "r.a");
+    NetId qb = b.dff(d1, clk, cell::V::V1, "r.b");
+    NetId x = b.xor_(qa, qb, "x");
+    b.output(x);
+  }
+  return nl;
+}
+
+CellId cell_named(const Netlist& nl, std::string_view name) {
+  for (CellId c : nl.cells()) {
+    if (nl.cell(c).name == name) return c;
+  }
+  return {};
+}
+
+TEST(ContentHash, InsertionOrderIndependent) {
+  EXPECT_EQ(content_hash(hash_toy(false)), content_hash(hash_toy(true)));
+}
+
+TEST(ContentHash, SurvivesVerilogRoundTripOverCircuitSuite) {
+  // read_verilog builds a fresh representation (new ids, fresh payload
+  // table): the canonical hash must not notice.
+  for (const circuits::Suite& s : circuits::scaling_suite()) {
+    const Netlist& nl = s.circuit.netlist;
+    Netlist back = read_verilog(to_verilog(nl), s.name + ".v");
+    EXPECT_EQ(content_hash(back), content_hash(nl)) << s.name;
+  }
+}
+
+TEST(ContentHash, SensitiveToEveryContentField) {
+  const Hash256 base = content_hash(hash_toy(false));
+
+  EXPECT_NE(content_hash(hash_toy(false, "toy2")), base) << "module name";
+
+  Netlist kind = hash_toy(false);
+  kind.set_kind(cell_named(kind, "x"), cell::Kind::And);
+  EXPECT_NE(content_hash(kind), base) << "cell kind";
+
+  Netlist init = hash_toy(false);
+  init.set_init(cell_named(init, "r.a"), cell::V::V1);
+  EXPECT_NE(content_hash(init), base) << "init value";
+
+  Netlist rewired(hash_toy(false).name());
+  {
+    // Same cells, one XOR pin moved from r.a's output to d0 directly.
+    Builder b(rewired);
+    NetId clk = b.input("clk");
+    NetId d0 = b.input("d0");
+    NetId d1 = b.input("d1");
+    (void)b.dff(d0, clk, cell::V::V0, "r.a");
+    NetId qb = b.dff(d1, clk, cell::V::V1, "r.b");
+    NetId x = b.xor_(d0, qb, "x");
+    b.output(x);
+  }
+  EXPECT_NE(content_hash(rewired), base) << "pin connectivity";
+}
+
+/// Two-word ROM indexed by one address bit; `lut` is the contents.
+Netlist rom_toy(std::vector<uint64_t> lut) {
+  Netlist nl("romtoy");
+  Builder b(nl);
+  NetId a = b.input("a");
+  std::vector<NetId> addr = {a};
+  auto out = b.rom(addr, 2, std::move(lut), "lut");
+  b.output(b.xor_(out[0], out[1], "x"));
+  return nl;
+}
+
+TEST(ContentHash, SensitiveToGroupAndPayload) {
+  const Hash256 base = content_hash(rom_toy({2, 1}));
+
+  // Same structure, one ROM bit flipped: only the payload table differs.
+  EXPECT_NE(content_hash(rom_toy({3, 1})), base) << "payload word";
+
+  Netlist grouped = rom_toy({2, 1});
+  grouped.set_group(cell_named(grouped, "x"), 7);
+  EXPECT_NE(content_hash(grouped), base) << "group attribute";
 }
 
 }  // namespace
