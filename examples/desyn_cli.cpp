@@ -55,6 +55,17 @@
 // --save writes the response's raw "result" object, which is
 // byte-identical across cached and cold submissions (the CI smoke job
 // cmp's two of them).
+//
+// Lint mode — the static verifier (src/check, docs/LINT.md) over the
+// desynchronized result: structural netlist checks, marked-graph
+// re-extraction from the synthesized controllers, matched-delay coverage,
+// handshake completeness. No simulation runs; exits 1 when any run has
+// error-severity diagnostics:
+//
+//   desyn_cli lint <input.v> <clock-net> [margin] [strategy]
+//                  [--protocol <p>|all] [--json <path>]
+//   desyn_cli lint --suite [--full-suite] [margin] [strategy]
+//                  [--protocol <p>|all] [--json <path>]
 #include <csignal>
 #include <cstdio>
 #include <fstream>
@@ -65,6 +76,7 @@
 
 #include "base/cli_args.h"
 #include "base/json.h"
+#include "check/check.h"
 #include "circuits/circuits.h"
 #include "core/desynchronizer.h"
 #include "core/report.h"
@@ -391,6 +403,103 @@ int run_submit(int argc, char** argv) {
   return 0;
 }
 
+/// `desyn_cli lint` — run the static verifier (src/check) on the
+/// desynchronized result instead of writing it out. One line per clean
+/// run, full diagnostics otherwise; --json writes the desyn-lint-v1
+/// report; exit 1 when any run has errors.
+int run_lint(int argc, char** argv) {
+  std::vector<std::string> pos;
+  std::vector<ctl::Protocol> protocols = {ctl::Protocol::Pulse};
+  bool suite = false, full_suite = false;
+  double margin = 1.1;
+  flow::PartitionSpec strategy;
+  std::string json_path;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--protocol") {
+      std::string v = cli::need_value(argc, argv, i, "--protocol");
+      if (v == "all") {
+        protocols.assign(std::begin(ctl::kAllProtocols),
+                         std::end(ctl::kAllProtocols));
+      } else {
+        protocols = {ctl::parse_protocol(v)};
+      }
+    } else if (a == "--suite") {
+      suite = true;
+    } else if (a == "--full-suite") {
+      suite = true;
+      full_suite = true;
+    } else if (a == "--json") {
+      json_path = cli::need_value(argc, argv, i, "--json");
+    } else {
+      pos.push_back(a);
+    }
+  }
+
+  // The work list: (name, netlist, clock) triples from the suite or the
+  // single input file.
+  std::vector<circuits::Suite> owned;
+  std::vector<std::pair<std::string, circuits::Circuit*>> designs;
+  if (suite) {
+    for (circuits::Suite& s : circuits::scaling_suite()) {
+      if (full_suite || s.name == "pipe4x8" || s.name == "lfsr16" ||
+          s.name == "counters4x8" || s.name == "crc32" ||
+          s.name == "fir8x12" || s.name == "mesh6x6x2") {
+        owned.push_back(std::move(s));
+      }
+    }
+    if (pos.size() > 0) margin = cli::parse_margin(pos[0]);
+    if (pos.size() > 1) strategy = flow::PartitionSpec::parse(pos[1]);
+    for (circuits::Suite& s : owned) designs.push_back({s.name, &s.circuit});
+  } else {
+    if (pos.size() < 2) {
+      fail("lint needs <input.v> <clock-net> (or --suite); see usage");
+    }
+    std::ifstream in(pos[0]);
+    if (!in) fail("cannot open ", pos[0]);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    owned.push_back({pos[0], {nl::read_verilog(ss.str(), pos[0]), {}}});
+    owned.back().circuit.clock = owned.back().circuit.netlist.find_net(pos[1]);
+    if (!owned.back().circuit.clock.valid()) {
+      fail("no net named '", pos[1], "' in ", pos[0]);
+    }
+    if (pos.size() > 2) margin = cli::parse_margin(pos[2]);
+    if (pos.size() > 3) strategy = flow::PartitionSpec::parse(pos[3]);
+    designs.push_back({owned.back().circuit.netlist.name(),
+                       &owned.back().circuit});
+  }
+
+  const cell::Tech& tech = cell::Tech::generic90();
+  flow::Engine& engine = flow::Engine::process(tech);
+  size_t runs = 0, error_runs = 0;
+  std::string json = "{\"schema\": \"desyn-lint-v1\", \"runs\": [";
+  for (auto& [name, c] : designs) {
+    for (ctl::Protocol p : protocols) {
+      flow::DesyncOptions opt;
+      opt.margin = margin;
+      opt.strategy = strategy;
+      opt.protocol = p;
+      std::shared_ptr<const check::LintReport> rep =
+          engine.lint(c->netlist, c->clock, opt);
+      std::string label = cat(name, "/", ctl::protocol_name(p));
+      std::fputs(check::render_text(*rep, label).c_str(), stdout);
+      if (runs) json += ", ";
+      json += check::render_json(*rep, name, p, margin);
+      ++runs;
+      if (rep->errors() > 0) ++error_runs;
+    }
+  }
+  json += "]}";
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) fail("cannot write ", json_path);
+    out << json << "\n";
+  }
+  std::printf("lint: %zu run(s), %zu with errors\n", runs, error_runs);
+  return error_runs ? 1 : 0;
+}
+
 int run_single(int argc, char** argv) {
   // Positional arguments with optional flags anywhere after them.
   std::vector<std::string> pos;
@@ -426,7 +535,11 @@ int run_single(int argc, char** argv) {
                  "[--capacity N] [--cache-dir <dir>]\n"
                  "       desyn_cli submit <input.v> <clock-net> --socket "
                  "<path> [margin] [strategy] [--protocol <p>] "
-                 "[--save <result.json>]\n");
+                 "[--save <result.json>]\n"
+                 "       desyn_cli lint <input.v> <clock-net> [margin] "
+                 "[strategy] [--protocol <p>|all] [--json <path>]\n"
+                 "       desyn_cli lint --suite [--full-suite] [margin] "
+                 "[strategy] [--protocol <p>|all] [--json <path>]\n");
     return 2;
   }
   std::ifstream in(pos[0]);
@@ -503,6 +616,9 @@ int main(int argc, char** argv) {
     }
     if (argc > 1 && std::string(argv[1]) == "submit") {
       return run_submit(argc, argv);
+    }
+    if (argc > 1 && std::string(argv[1]) == "lint") {
+      return run_lint(argc, argv);
     }
     return run_single(argc, argv);
   } catch (const Error& e) {

@@ -183,8 +183,7 @@ V eval_comb(Kind k, std::span<const V> ins) {
       return inv(and_all(t));
     }
     default:
-      DESYN_ASSERT(false, "eval_comb on non-combinational cell ",
-                   kind_name(k));
+      fail("eval_comb on non-combinational cell ", kind_name(k));
   }
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "pn/analysis.h"
+
 namespace desyn::ctl {
 
 namespace {
@@ -406,9 +408,28 @@ ControllerNetwork synthesize_controllers(nl::Builder& b,
                                          const cell::Tech& tech) {
   cg.validate();
 #ifndef NDEBUG
-  // Also asserts that the protocol MG admits its own canonical schedule —
-  // the markings the hardware's inverters encode are the ones being built.
-  (void)protocol_mg(cg, p);
+  // Malformed protocol models must fail fast here, at synthesis time, not
+  // later as a lint finding or a simulation deadlock. protocol_mg() already
+  // asserts the MG admits its own canonical schedule; on top of that both
+  // the abstract model and the hardware refinement must be live (no
+  // token-free cycle: the network cannot deadlock) and safe (1-bounded:
+  // a single wire per arc can carry the marking). is_safe() runs one
+  // shortest-path query per arc, so it is gated on graph size — big
+  // fabrics (4k+ transitions) still get the linear liveness check.
+  {
+    pn::MarkedGraph model = protocol_mg(cg, p);
+    DESYN_ASSERT(pn::is_live(model), "protocol MG not live: ",
+                 protocol_name(p));
+    pn::MarkedGraph hw = hardware_mg(cg, p);
+    DESYN_ASSERT(pn::is_live(hw), "hardware MG not live: ", protocol_name(p));
+    constexpr uint32_t kSafeCheckMaxArcs = 4096;
+    if (hw.num_arcs() <= kSafeCheckMaxArcs) {
+      DESYN_ASSERT(pn::is_safe(model), "protocol MG not safe: ",
+                   protocol_name(p));
+      DESYN_ASSERT(pn::is_safe(hw), "hardware MG not safe: ",
+                   protocol_name(p));
+    }
+  }
 #endif
   if (p == Protocol::Pulse) return synthesize_pulse(b, cg, tech);
   return synthesize_level(b, cg, p, tech);

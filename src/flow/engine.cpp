@@ -9,6 +9,7 @@
 #include <set>
 #include <sstream>
 
+#include "check/check.h"
 #include "core/adjacency.h"
 #include "ctl/controller.h"
 #include "netlist/writer.h"
@@ -54,6 +55,10 @@ struct PartArtifact : Artifact {
 struct OptArtifact : Artifact {
   PartitionOptResult result;
   explicit OptArtifact(PartitionOptResult r) : result(std::move(r)) {}
+};
+
+struct LintArtifact : Artifact {
+  check::LintReport rep;
 };
 
 struct ResultArtifact : Artifact {
@@ -747,6 +752,40 @@ std::shared_ptr<const DesyncResult> Engine::desynchronize(
   Hash256 part_key = partition_key(ff, clock, opt, ff_hash);
   Stages st = run_stages(ff, clock, opt, ff_hash, part_key);
   return {st.synth, &st.synth->result};
+}
+
+std::shared_ptr<const check::LintReport> Engine::lint(
+    const nl::Netlist& ff, nl::NetId clock, const DesyncOptions& opt) {
+  Hash256 ff_hash = nl::content_hash(ff);
+  Hash256 part_key = partition_key(ff, clock, opt, ff_hash);
+  Hash256 key;
+  {
+    // Same coordinates as the result cache: anything that can change the
+    // desynchronized netlist can change the report, nothing else can.
+    Sha256 h;
+    h.field("lint-v1").field(tech_.name());
+    mix(h, ff_hash);
+    h.field(ff.net(clock).name);
+    mix(h, part_key);
+    h.field_f64(opt.margin);
+    h.field_u64(static_cast<uint64_t>(opt.protocol));
+    key = h.digest();
+  }
+  if (ArtifactStore::Ptr a = store_.get("lint", key)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.lint_hits;
+    auto la = std::static_pointer_cast<const LintArtifact>(a);
+    return {la, &la->rep};
+  }
+  Stages st = run_stages(ff, clock, opt, ff_hash, part_key);
+  auto la = std::make_shared<LintArtifact>();
+  la->rep = check::lint(st.synth->result, tech_, check::LintOptions{opt.margin});
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.lint_runs;
+  }
+  store_.put("lint", key, la);  // memory tier only: reports are cheap to redo
+  return {std::shared_ptr<const LintArtifact>(la), &la->rep};
 }
 
 FlowOutcome Engine::run(const nl::Netlist& ff, nl::NetId clock,

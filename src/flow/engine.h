@@ -50,6 +50,10 @@
 #include "flow/artifact.h"
 #include "netlist/hash.h"
 
+namespace desyn::check {
+struct LintReport;
+}
+
 namespace desyn::flow {
 
 struct EngineOptions {
@@ -78,6 +82,8 @@ struct StageCounters {
   size_t mcr_warm = 0;        ///< warm-restarted Howard solves
   size_t optimize_runs = 0;   ///< partition-optimizer searches
   size_t optimize_hits = 0;
+  size_t lint_runs = 0;       ///< static-verification (check::lint) runs
+  size_t lint_hits = 0;       ///< lint reports served from the cache
 };
 
 /// The summary a flow submission reports (the server's response payload;
@@ -125,6 +131,14 @@ class Engine {
   std::shared_ptr<const PartitionOptResult> optimize(
       const nl::Netlist& ff_netlist, nl::NetId clock,
       const PartitionOptOptions& opt);
+
+  /// Static verification (check::lint) of the desynchronized design as a
+  /// content-addressed stage: keyed at the same coordinates as the result
+  /// cache, so re-linting an unchanged submission is a pure cache hit and
+  /// an edited one reuses every flow stage the edit did not invalidate.
+  std::shared_ptr<const check::LintReport> lint(const nl::Netlist& ff_netlist,
+                                                nl::NetId clock,
+                                                const DesyncOptions& opt);
 
   StageCounters counters() const;
   ArtifactStore::Stats store_stats() const;

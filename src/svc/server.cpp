@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "base/json.h"
+#include "check/check.h"
 #include "netlist/reader.h"
 
 namespace desyn::svc {
@@ -24,7 +25,8 @@ std::string error_response(const char* kind, const std::string& message) {
 /// job compares two submissions' saved results with cmp.
 std::string result_object(const std::string& circuit,
                           const std::string& strategy, const char* protocol,
-                          double margin, const flow::FlowOutcome& out) {
+                          double margin, const flow::FlowOutcome& out,
+                          const std::string& lint_json) {
   char buf[160];
   std::string s = cat("{\"circuit\": \"", json::escape(circuit),
                       "\", \"strategy\": \"", json::escape(strategy),
@@ -39,7 +41,9 @@ std::string result_object(const std::string& circuit,
   std::snprintf(buf, sizeof buf, " \"predicted_period_ps\": %.6f,",
                 out.stats.predicted_period_ps);
   s += buf;
-  s += cat(" \"verilog\": \"", json::escape(*out.verilog), "\"}");
+  s += cat(" \"verilog\": \"", json::escape(*out.verilog), "\"");
+  if (!lint_json.empty()) s += cat(", \"lint\": ", lint_json);
+  s += "}";
   return s;
 }
 
@@ -97,17 +101,25 @@ std::string Server::handle_request(const std::string& line) {
     return error_response("request", e.what());
   }
 
-  // Run (or serve) the flow.
+  // Run (or serve) the flow; "lint": true additionally runs the static
+  // verifier (a cached engine stage) and embeds its run object.
   flow::FlowOutcome out;
+  std::string lint_json;
   try {
     out = engine_.run(*ff, clock, opt);
+    if (req.get_bool("lint", false)) {
+      std::shared_ptr<const check::LintReport> rep =
+          engine_.lint(*ff, clock, opt);
+      lint_json =
+          check::render_json(*rep, ff->name(), opt.protocol, opt.margin);
+    }
   } catch (const std::exception& e) {
     return error_response("flow", e.what());
   }
   return cat("{\"schema\": \"desyn-svc-v1\", \"cached\": ",
              out.cached ? "true" : "false", ", \"result\": ",
              result_object(ff->name(), strategy_label, protocol_name,
-                           opt.margin, out),
+                           opt.margin, out, lint_json),
              "}");
 }
 

@@ -17,6 +17,16 @@
 //      "sync_cells": ..., "desync_cells": ...,
 //      "predicted_period_ps": ..., "verilog": "..."}}
 //
+// An optional boolean request field "lint" additionally runs the static
+// verifier (src/check) on the desynchronized design and appends its
+// desyn-lint-v1 run object (docs/LINT.md) to the result:
+//
+//   {..., "verilog": "...", "lint": {"circuit": ..., "clean": <bool>,
+//                                    "errors": N, "diags": [...], ...}}
+//
+// The lint report is itself a content-addressed engine stage, so a
+// re-submitted design pays nothing for asking again.
+//
 // "cached" reports whether the engine served the submission from its
 // result cache; the "result" object is byte-identical either way. Every
 // failure is a typed error response — the connection (and the server)

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "base/json.h"
 #include "netlist/builder.h"
 #include "netlist/writer.h"
 #include "svc/client.h"
@@ -105,6 +106,28 @@ TEST(SvcProtocol, SuccessResponseAndResultCache) {
   EXPECT_NE(warm.find("\"cached\": true"), std::string::npos);
   // The result object is byte-identical across cold and cached service.
   EXPECT_EQ(extract_result(cold), extract_result(warm));
+}
+
+TEST(SvcProtocol, LintRequestEmbedsReport) {
+  Server server(Tech::generic90(), options(fresh_socket("lint")));
+  std::string req =
+      make_request(nl::to_verilog(pipeline3()), "clk", "prefix", 1.1, "pulse");
+  ASSERT_EQ(req.back(), '}');
+  std::string lint_req = req.substr(0, req.size() - 1) + ", \"lint\": true}";
+
+  std::string resp = server.handle_request(lint_req);
+  json::Value v = json::parse(resp);
+  const json::Value* result = v.get("result");
+  ASSERT_NE(result, nullptr);
+  const json::Value* lint = result->get("lint");
+  ASSERT_NE(lint, nullptr) << resp.substr(0, 200);
+  EXPECT_TRUE(lint->get_bool("clean", false));
+  EXPECT_EQ(lint->get_number("errors", -1), 0);
+  EXPECT_EQ(lint->get_string("protocol"), "pulse");
+
+  // Without the field the result object is unchanged (byte-compat).
+  std::string plain = server.handle_request(req);
+  EXPECT_EQ(plain.find("\"lint\""), std::string::npos);
 }
 
 TEST(SvcProtocol, MalformedJsonIsTypedParseError) {
@@ -230,8 +253,12 @@ TEST(SvcServer, ConcurrentClientsGetByteIdenticalResults) {
       EXPECT_EQ(r, results[which][0]);
     }
   }
-  // The engine served most submissions from its result cache.
-  EXPECT_GE(server.engine().counters().result_hits, kThreads * kReps - 4u);
+  // The engine served most submissions from its result cache. Racing
+  // misses are benign double computation by the engine contract, so in
+  // the worst case every thread's first touch of each distinct request
+  // computes cold (visible under sanitizer slowdowns).
+  EXPECT_GE(server.engine().counters().result_hits,
+            kThreads * kReps - 2u * kThreads);
 }
 
 }  // namespace
