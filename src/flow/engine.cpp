@@ -397,8 +397,10 @@ Hash256 Engine::partition_key(const nl::Netlist& ff, nl::NetId clock,
       break;
     case M::Auto:
       // The optimizer reads the whole netlist (timing!) and the knobs
-      // that shape its search; opt_jobs is excluded (results are
-      // byte-identical at any job count).
+      // that shape its search; the job-count knobs (opt_jobs, sim_jobs)
+      // are excluded from every stage key: results are byte-identical at
+      // any job count, so a submission re-run with different parallelism
+      // must stay a pure cache hit.
       h.field("auto");
       mix(h, ff_hash);
       h.field(ff.net(clock).name);

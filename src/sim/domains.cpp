@@ -1,0 +1,68 @@
+#include "sim/domains.h"
+
+#include <algorithm>
+
+namespace desyn::sim {
+
+using nl::CellId;
+using nl::NetId;
+
+DomainMap derive_domains(const nl::Netlist& nl, uint32_t num_seed_domains,
+                         const std::vector<int32_t>& cell_seed) {
+  const uint32_t env = num_seed_domains;
+  DomainMap map;
+  map.num_domains = num_seed_domains + 1;
+  map.cell_domain.assign(nl.num_cells(), env);
+
+  // Driver cell of every net (invalid for primary inputs).
+  std::vector<CellId> driver(nl.num_nets());
+  for (CellId c : nl.cells()) {
+    for (NetId o : nl.cell(c).outs) driver[o.value()] = c;
+  }
+
+  // Multi-source BFS on reverse edges, one wave at a time: a cell reached
+  // in wave k takes the minimum domain over all of its wave-(k-1)
+  // consumers, which makes the result independent of frontier order.
+  constexpr int32_t kUnassigned = -1;
+  std::vector<int32_t> dom(nl.num_cells(), kUnassigned);
+  std::vector<CellId> frontier;
+  for (CellId c : nl.cells()) {
+    const int32_t s = cell_seed[c.value()];
+    if (s < 0) continue;
+    DESYN_ASSERT(static_cast<uint32_t>(s) < num_seed_domains,
+                 "domain seed out of range");
+    dom[c.value()] = s;
+    frontier.push_back(c);
+  }
+
+  std::vector<CellId> next;
+  std::vector<int32_t> relax(nl.num_cells(), kUnassigned);
+  while (!frontier.empty()) {
+    next.clear();
+    for (CellId c : frontier) {
+      const int32_t label = dom[c.value()];
+      for (NetId in : nl.cell(c).ins) {
+        const CellId p = driver[in.value()];
+        if (!p.valid() || dom[p.value()] != kUnassigned) continue;
+        if (relax[p.value()] == kUnassigned) next.push_back(p);
+        if (relax[p.value()] == kUnassigned || label < relax[p.value()]) {
+          relax[p.value()] = label;
+        }
+      }
+    }
+    for (CellId c : next) {
+      dom[c.value()] = relax[c.value()];
+      relax[c.value()] = kUnassigned;
+    }
+    frontier.swap(next);
+  }
+
+  for (CellId c : nl.cells()) {
+    if (dom[c.value()] >= 0) {
+      map.cell_domain[c.value()] = static_cast<uint32_t>(dom[c.value()]);
+    }
+  }
+  return map;
+}
+
+}  // namespace desyn::sim

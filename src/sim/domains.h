@@ -1,0 +1,38 @@
+// Domain-map derivation for the sharded simulator (sim/sim.h).
+//
+// A simulation domain is a set of cells whose events share one calendar
+// queue. Any assignment is correct — for a fixed map, Simulator results
+// are byte-identical at every job count, and across maps the trajectory
+// is identical too (see the DomainMap contract in sim/sim.h) — so
+// derivation is purely a performance
+// policy: follow the circuit's natural cuts so that domains interact only
+// through a few boundary nets (handshake wires, matched-delay lines, the
+// clock tree) and the evaluate phase parallelizes.
+//
+// derive_domains() grows a seeded assignment over the whole netlist by a
+// nearest-seed flood on the reverse (consumer -> producer) graph: every
+// unseeded cell joins the domain of the closest seeded consumer it feeds,
+// measured in reverse hops, ties broken toward the smallest domain id.
+// Seeded cells act as cuts — the flood never passes through them — so a
+// combinational cone between two banks splits at the receiving bank's
+// storage, matching the receiver-side ownership of matched-delay lines.
+// Cells that reach no seed (primary-output cones) fall into a shared
+// environment domain, always the last one.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/sim.h"
+
+namespace desyn::sim {
+
+/// Expand a partial per-cell seeding (`cell_seed[c]` in [0, num_seed_domains)
+/// or -1 for unseeded) into a total DomainMap with
+/// `num_seed_domains + 1` domains; domain `num_seed_domains` is the
+/// environment bucket for cells that reach no seed. Deterministic for a
+/// given netlist + seeding.
+DomainMap derive_domains(const nl::Netlist& nl, uint32_t num_seed_domains,
+                         const std::vector<int32_t>& cell_seed);
+
+}  // namespace desyn::sim

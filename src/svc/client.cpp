@@ -62,13 +62,18 @@ std::string Client::roundtrip(const std::string& request) {
 
 std::string make_request(const std::string& verilog, const std::string& clock,
                          const std::string& strategy, double margin,
-                         const std::string& protocol) {
+                         const std::string& protocol, int sim_jobs) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.4f", margin);
+  // The default is omitted so request lines (and anything keyed on them)
+  // are byte-identical to pre-sim_jobs clients.
+  std::string jobs_field =
+      sim_jobs != 1 ? cat(", \"sim_jobs\": ", sim_jobs) : std::string();
   return cat("{\"verilog\": \"", json::escape(verilog), "\", \"clock\": \"",
              json::escape(clock), "\", \"strategy\": \"",
              json::escape(strategy), "\", \"margin\": ", buf,
-             ", \"protocol\": \"", json::escape(protocol), "\"}");
+             ", \"protocol\": \"", json::escape(protocol), "\"", jobs_field,
+             "}");
 }
 
 std::string extract_result(const std::string& response) {

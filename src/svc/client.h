@@ -28,10 +28,13 @@ class Client {
   std::string buf_;  ///< bytes read past the last response line
 };
 
-/// Build a desyn-svc-v1 request line from the flow inputs.
+/// Build a desyn-svc-v1 request line from the flow inputs. `sim_jobs`
+/// rides along as DesyncOptions::sim_jobs (byte-identical results at any
+/// value, so it never affects the server's cache identity); the default 1
+/// is omitted from the line, keeping pre-sim_jobs request bytes stable.
 std::string make_request(const std::string& verilog, const std::string& clock,
                          const std::string& strategy, double margin,
-                         const std::string& protocol);
+                         const std::string& protocol, int sim_jobs = 1);
 
 /// Extract the raw bytes of the "result" object from a successful
 /// response line — exactly as the server emitted them, so saved results

@@ -91,6 +91,15 @@ std::string Server::handle_request(const std::string& line) {
     }
     opt.protocol = ctl::parse_protocol(req.get_string("protocol", "pulse"));
     protocol_name = ctl::protocol_name(opt.protocol);
+    // Parallelism knobs travel with the submission like margin/protocol
+    // do, but never enter a cache key (results are byte-identical at any
+    // job count — the cached re-run must still hit).
+    const double sim_jobs = req.get_number("sim_jobs", 1);
+    if (sim_jobs < 1 || sim_jobs > 1024 ||
+        sim_jobs != static_cast<int>(sim_jobs)) {
+      fail("sim_jobs must be an integer in [1, 1024]");
+    }
+    opt.sim_jobs = static_cast<int>(sim_jobs);
     ff = std::make_unique<nl::Netlist>(
         nl::read_verilog(verilog->string, "<request>"));
     clock = ff->find_net(clock_name->string);

@@ -1,0 +1,506 @@
+// Byte-identity harness for the sharded event simulator (sim/sim.h).
+//
+// The parallel engine's contract is not "statistically equivalent" but
+// *byte-identical*: for any domain map and any job count, every observable
+// — the VCD stream, final net values, RAM contents, event counts, toggle
+// (power) accumulators, the recorded setup violations and the
+// flow-equivalence verdict — must equal the serial oracle's, bit for bit.
+// These tests pin that contract over the scaling suite x all four
+// handshake protocols x jobs {1,2,4,8}, plus targeted regressions for the
+// places a parallel engine classically goes wrong: FIFO tie order across
+// shard boundaries, run_until chunking, replay, and captures coincident
+// with a cross-domain boundary change (an off-by-one in the
+// synchronization would reorder the capture against the data commit).
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "circuits/circuits.h"
+#include "core/desynchronizer.h"
+#include "netlist/builder.h"
+#include "sim/domains.h"
+#include "sim/sim.h"
+#include "sim/vcd.h"
+#include "verif/flow_equivalence.h"
+#include "verif/testbench.h"
+
+namespace desyn::sim {
+namespace {
+
+using cell::Kind;
+using cell::Tech;
+using cell::V;
+using nl::Builder;
+using nl::CellId;
+using nl::Netlist;
+using nl::NetId;
+
+// ---------------------------------------------------------------- harness
+
+struct Poke {
+  NetId net;
+  V v;
+  Ps at;
+};
+
+/// Deterministic pseudo-random stimulus: `per_input` pokes per non-clock
+/// primary input, scattered over [0, horizon). Same seed -> same pokes.
+std::vector<Poke> random_pokes(const Netlist& nl, NetId skip, uint64_t seed,
+                               Ps horizon, int per_input) {
+  uint64_t s = seed * 0x9E3779B97F4A7C15ull + 1;
+  auto next = [&s]() {
+    s ^= s >> 12;
+    s ^= s << 25;
+    s ^= s >> 27;
+    return s * 0x2545F4914F6CDD1Dull;
+  };
+  std::vector<Poke> pokes;
+  for (NetId in : nl.inputs()) {
+    if (in == skip) continue;
+    for (int k = 0; k < per_input; ++k) {
+      const Ps at = static_cast<Ps>(next() % static_cast<uint64_t>(horizon));
+      pokes.push_back({in, (next() & 1) ? V::V1 : V::V0, at});
+    }
+  }
+  // set_input requires at >= now; issue every poke up-front, sorted so the
+  // schedule itself is identical across runs (vector order is already
+  // deterministic, the sort just lets callers run in chunks).
+  std::stable_sort(pokes.begin(), pokes.end(),
+                   [](const Poke& a, const Poke& b) { return a.at < b.at; });
+  return pokes;
+}
+
+/// Every observable of one simulation run, in comparable form.
+struct Fingerprint {
+  std::string vcd;
+  std::string finals;            // one char per net
+  std::vector<uint64_t> toggles;  // per net (the power accumulators)
+  uint64_t events = 0;
+  uint64_t violation_count = 0;
+  std::vector<std::tuple<Ps, uint32_t, uint32_t, Ps>> violations;
+  std::vector<std::pair<std::string, uint64_t>> ram_words;
+  uint64_t parallel_phases = 0;  // diagnostic, NOT part of identity
+};
+
+void expect_identical(const Fingerprint& a, const Fingerprint& b) {
+  EXPECT_EQ(a.vcd, b.vcd);
+  EXPECT_EQ(a.finals, b.finals);
+  EXPECT_EQ(a.toggles, b.toggles);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.violation_count, b.violation_count);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.ram_words, b.ram_words);
+}
+
+/// Run `nl` under `map` with `jobs` workers and collect every observable.
+/// `chunk` > 0 splits run_until into chunk-sized steps (identity must hold
+/// across run boundaries too). `clock` (if valid) free-runs from t=0.
+Fingerprint run_sharded(const Netlist& nl, const Tech& tech, DomainMap map,
+                        int jobs, const std::vector<Poke>& pokes, Ps horizon,
+                        Ps chunk = 0, NetId clock = {}, Ps period = 0) {
+  Simulator sim(nl, tech, SimOptions{jobs, std::move(map)});
+
+  // VCD over a deterministic strided net subset (bounded stream size).
+  std::vector<NetId> vcd_nets;
+  const size_t stride = std::max<size_t>(1, nl.num_nets() / 256);
+  for (size_t i = 0; i < nl.num_nets(); i += stride) {
+    vcd_nets.push_back(NetId(static_cast<uint32_t>(i)));
+  }
+  std::ostringstream vcd;
+  VcdWriter writer(sim, vcd, vcd_nets);
+
+  if (clock.valid()) sim.add_clock(clock, period, period / 2);
+  for (const Poke& p : pokes) sim.set_input(p.net, p.v, p.at);
+  if (chunk > 0) {
+    for (Ps t = chunk; t < horizon; t += chunk) sim.run_until(t);
+  }
+  sim.run_until(horizon);
+  writer.finish();
+
+  Fingerprint fp;
+  fp.vcd = vcd.str();
+  fp.finals.reserve(nl.num_nets());
+  for (size_t i = 0; i < nl.num_nets(); ++i) {
+    fp.finals.push_back(cell::to_char(sim.value(NetId(
+        static_cast<uint32_t>(i)))));
+    fp.toggles.push_back(sim.toggles(NetId(static_cast<uint32_t>(i))));
+  }
+  fp.events = sim.events_processed();
+  fp.violation_count = sim.setup_violation_count();
+  for (const SetupViolation& v : sim.setup_violations()) {
+    fp.violations.emplace_back(v.at, v.cell.value(), v.data_net.value(),
+                               v.slack);
+  }
+  for (CellId c : nl.cells()) {
+    if (nl.cell(c).kind != Kind::Ram) continue;
+    const uint64_t words = 1ull << nl.cell(c).p0;
+    for (uint64_t a = 0; a < words; ++a) {
+      fp.ram_words.emplace_back(cat(nl.cell(c).name, "@", a),
+                                sim.ram_word(c, a));
+    }
+  }
+  fp.parallel_phases = sim.parallel_phases();
+  return fp;
+}
+
+// ------------------------------------------------- suite x protocol x jobs
+
+// The headline property: for every scaling-suite circuit and every
+// handshake protocol, the desynchronized circuit simulated under its
+// derived domain map produces byte-identical observables at any job count.
+TEST(SimParallel, ByteIdentityAcrossJobsDesyncSuite) {
+  const Tech& tech = Tech::generic90();
+  constexpr Ps kHorizon = 30'000;
+  uint64_t phases_with_pool = 0;
+  for (const circuits::Suite& s : circuits::scaling_suite()) {
+    for (ctl::Protocol p : ctl::kAllProtocols) {
+      SCOPED_TRACE(cat(s.name, " / ", ctl::protocol_name(p)));
+      flow::DesyncOptions opt;
+      opt.protocol = p;
+      flow::DesyncResult dr =
+          flow::desynchronize(s.circuit.netlist, s.circuit.clock, tech, opt);
+      const DomainMap map = flow::sim_domains(dr);
+      ASSERT_GT(map.num_domains, 1u);
+      const std::vector<Poke> pokes = random_pokes(
+          dr.netlist, s.circuit.clock, 17, kHorizon, 6);
+      const Fingerprint serial =
+          run_sharded(dr.netlist, tech, map, 1, pokes, kHorizon);
+      EXPECT_EQ(serial.parallel_phases, 0u);
+      for (int jobs : {2, 4, 8}) {
+        SCOPED_TRACE(cat("jobs=", jobs));
+        const Fingerprint par =
+            run_sharded(dr.netlist, tech, map, jobs, pokes, kHorizon);
+        expect_identical(serial, par);
+        phases_with_pool += par.parallel_phases;
+      }
+    }
+  }
+  // The identity must not be vacuous: across the whole suite the pool has
+  // to have executed multi-domain phases.
+  EXPECT_GT(phases_with_pool, 0u);
+}
+
+// Correctness is independent of the domain map: a hashed map, a
+// round-robin map and the trivial single-domain map all reproduce the
+// oracle's trajectory on a clocked synchronous circuit — same values at
+// the same times, same toggle/event counts, same violations. Within one
+// map, everything (including the VCD byte stream) is identical at every
+// job count; across maps only the within-timestamp VCD line order may
+// legitimately differ (it follows the map's canonical domain order).
+// (The hashed map is the race-hunting configuration: it maximizes
+// cross-domain traffic.)
+TEST(SimParallel, AnyDomainMapIsByteIdentical) {
+  const Tech& tech = Tech::generic90();
+  constexpr Ps kHorizon = 40'000;
+  for (const char* which : {"crc32", "pipe8x16"}) {
+    SCOPED_TRACE(which);
+    circuits::Circuit c = std::string(which) == "crc32"
+                              ? circuits::crc32()
+                              : circuits::pipeline(8, 16, 3);
+    const size_t n = c.netlist.num_cells();
+    std::vector<DomainMap> maps;
+    maps.push_back({});  // trivial: one domain
+    DomainMap hashed{7, std::vector<uint32_t>(n)};
+    DomainMap rr{3, std::vector<uint32_t>(n)};
+    for (size_t i = 0; i < n; ++i) {
+      hashed.cell_domain[i] =
+          static_cast<uint32_t>((i * 0x9E3779B9u >> 16) % 7);
+      rr.cell_domain[i] = static_cast<uint32_t>(i % 3);
+    }
+    maps.push_back(std::move(hashed));
+    maps.push_back(std::move(rr));
+
+    const std::vector<Poke> pokes =
+        random_pokes(c.netlist, c.clock, 23, kHorizon, 8);
+    const Fingerprint oracle = run_sharded(c.netlist, tech, maps[0], 1, pokes,
+                                           kHorizon, 0, c.clock, 2'000);
+    for (size_t m = 0; m < maps.size(); ++m) {
+      const Fingerprint map_serial = run_sharded(
+          c.netlist, tech, maps[m], 1, pokes, kHorizon, 0, c.clock, 2'000);
+      // Trajectory identity vs the single-domain oracle.
+      SCOPED_TRACE(cat("map=", m));
+      EXPECT_EQ(oracle.finals, map_serial.finals);
+      EXPECT_EQ(oracle.toggles, map_serial.toggles);
+      EXPECT_EQ(oracle.events, map_serial.events);
+      EXPECT_EQ(oracle.violation_count, map_serial.violation_count);
+      EXPECT_EQ(oracle.violations, map_serial.violations);
+      // Full byte identity (VCD included) within the map, at any jobs.
+      for (int jobs : {2, 4}) {
+        SCOPED_TRACE(cat("jobs=", jobs));
+        expect_identical(map_serial,
+                         run_sharded(c.netlist, tech, maps[m], jobs, pokes,
+                                     kHorizon, 0, c.clock, 2'000));
+      }
+    }
+  }
+}
+
+// ------------------------------------------------ determinism regressions
+
+// Same-timestamp stimulus bursts landing on both sides of a shard
+// boundary: the applied order (and therefore watcher order, last-wins
+// resolution and event counts) must match the serial oracle exactly.
+TEST(SimParallel, FifoTieOrderAcrossShardBoundaries) {
+  Netlist nl("t");
+  Builder b(nl);
+  NetId a = b.input("a");
+  NetId c = b.input("c");
+  NetId ya = b.buf(a, "ya");
+  NetId yc = b.buf(c, "yc");
+  NetId both = b.and_({ya, yc}, "both");
+  b.output(both);
+  const Tech& tech = Tech::generic90();
+
+  // ya's cone in domain 0, yc's in domain 1, the AND in domain 1.
+  DomainMap map{2, std::vector<uint32_t>(nl.num_cells(), 0)};
+  map.cell_domain[nl.find_cell("yc").value()] = 1;
+  map.cell_domain[nl.find_cell("both").value()] = 1;
+
+  auto run = [&](int jobs) {
+    Simulator sim(nl, tech, SimOptions{jobs, map});
+    std::vector<std::tuple<Ps, uint32_t, char>> log;
+    for (NetId n : {ya, yc, both}) {
+      sim.watch(n, [&log, n](Ps at, V v) {
+        log.emplace_back(at, n.value(), cell::to_char(v));
+      });
+    }
+    // Equal-timestamp bursts, interleaved across the boundary, including
+    // several changes of the same net at the same instant (last wins).
+    for (Ps t : {Ps{0}, Ps{1'000}, Ps{1'000}, Ps{2'500}}) {
+      sim.set_input(a, V::V1, t);
+      sim.set_input(c, V::V1, t);
+      sim.set_input(a, V::V0, t);
+      sim.set_input(c, V::V0, t + 1);
+      sim.set_input(a, V::V1, t + 1);
+    }
+    sim.run_until(10'000);
+    return std::make_tuple(log, sim.events_processed(),
+                           cell::to_char(sim.value(both)));
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(4));
+}
+
+// Two identical parallel runs of a handshake circuit must agree event for
+// event (no dependence on thread scheduling), and chunked run_until calls
+// must agree with a single-shot run across every boundary.
+TEST(SimParallel, ReplayAndChunkingAreDeterministic) {
+  const Tech& tech = Tech::generic90();
+  constexpr Ps kHorizon = 30'000;
+  circuits::Circuit c = circuits::pipeline(4, 8, 2);
+  flow::DesyncResult dr =
+      flow::desynchronize(c.netlist, c.clock, tech, flow::DesyncOptions{});
+  const DomainMap map = flow::sim_domains(dr);
+  const std::vector<Poke> pokes =
+      random_pokes(dr.netlist, c.clock, 29, kHorizon, 6);
+
+  const Fingerprint once =
+      run_sharded(dr.netlist, tech, map, 4, pokes, kHorizon);
+  const Fingerprint again =
+      run_sharded(dr.netlist, tech, map, 4, pokes, kHorizon);
+  expect_identical(once, again);
+
+  // Chunk sizes deliberately not divisors of the horizon, so run
+  // boundaries land mid-flight of in-progress handshakes.
+  for (Ps chunk : {Ps{997}, Ps{7'001}}) {
+    SCOPED_TRACE(cat("chunk=", chunk));
+    expect_identical(
+        once, run_sharded(dr.netlist, tech, map, 4, pokes, kHorizon, chunk));
+  }
+}
+
+// A capture edge exactly coincident with a cross-domain data change: the
+// producing domain commits D at time T while the consuming domain's DFF
+// captures at the same T. An off-by-one in the cross-domain
+// synchronization (capture evaluated before the remote commit is visible)
+// would capture stale data or mis-record the setup violation. The exact
+// interleaving must match the serial oracle.
+TEST(SimParallel, BoundaryCoincidentCaptureMatchesSerial) {
+  Netlist nl("t");
+  Builder b(nl);
+  NetId d = b.input("d");
+  NetId ck = b.input("ck");
+  NetId x = b.buf(d, "x");  // domain 0 drives the boundary net x
+  NetId q = b.dff(x, ck, V::V0, "q");  // domain 1 captures it
+  b.output(q);
+  const Tech& tech = Tech::generic90();
+
+  DomainMap map{2, std::vector<uint32_t>(nl.num_cells(), 0)};
+  map.cell_domain[nl.find_cell("q").value()] = 1;
+
+  // Discover when x settles after a d poke at t=1000 (tech-dependent).
+  Ps x_change = -1;
+  {
+    Simulator probe(nl, tech, SimOptions{1, map});
+    probe.watch(x, [&](Ps at, V v) {
+      if (v == V::V1) x_change = at;
+    });
+    probe.set_input(d, V::V0, 0);
+    probe.set_input(ck, V::V0, 0);
+    probe.set_input(d, V::V1, 1'000);
+    probe.run_until(5'000);
+    ASSERT_GT(x_change, 0);
+  }
+
+  auto run = [&](int jobs) {
+    Simulator sim(nl, tech, SimOptions{jobs, map});
+    std::vector<std::tuple<Ps, uint32_t, char>> log;
+    for (NetId n : {x, ck, q}) {
+      sim.watch(n, [&log, n](Ps at, V v) {
+        log.emplace_back(at, n.value(), cell::to_char(v));
+      });
+    }
+    sim.set_input(d, V::V0, 0);
+    sim.set_input(ck, V::V0, 0);
+    sim.set_input(d, V::V1, 1'000);
+    sim.set_input(ck, V::V1, x_change);  // rise exactly at the data commit
+    sim.run_until(10'000);
+    std::vector<std::tuple<Ps, uint32_t, uint32_t, Ps>> viols;
+    for (const SetupViolation& v : sim.setup_violations()) {
+      viols.emplace_back(v.at, v.cell.value(), v.data_net.value(), v.slack);
+    }
+    return std::make_tuple(log, cell::to_char(sim.value(q)),
+                           sim.setup_violation_count(), viols,
+                           sim.events_processed());
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(4));
+}
+
+// RAM contents are owner-committed state too: two RAMs in different
+// domains, written from a third, must end up word-identical at any job
+// count (covered above only when a suite circuit has RAMs — none do).
+TEST(SimParallel, RamStateIdenticalAcrossJobs) {
+  Netlist nl("t");
+  Builder b(nl);
+  NetId ck = b.input("ck");
+  NetId we = b.input("we");
+  std::vector<NetId> wa = {b.input("wa0"), b.input("wa1")};
+  std::vector<NetId> wd;
+  for (int i = 0; i < 4; ++i) wd.push_back(b.input(cat("wd", i)));
+  std::vector<NetId> ra = {b.input("ra0"), b.input("ra1")};
+  auto rd0 = b.ram(ck, we, wa, wd, ra, 4, "m0");
+  auto rd1 = b.ram(ck, we, wa, wd, ra, 4, "m1");
+  for (NetId n : rd0) b.output(n);
+  for (NetId n : rd1) b.output(n);
+  const Tech& tech = Tech::generic90();
+
+  DomainMap map{3, std::vector<uint32_t>(nl.num_cells(), 0)};
+  map.cell_domain[nl.find_cell("m0").value()] = 1;
+  map.cell_domain[nl.find_cell("m1").value()] = 2;
+
+  constexpr Ps kHorizon = 50'000;
+  const std::vector<Poke> pokes = random_pokes(nl, ck, 31, kHorizon, 10);
+  const Fingerprint serial = run_sharded(nl, tech, map, 1, pokes, kHorizon, 0,
+                                         ck, 4'000);
+  ASSERT_EQ(serial.ram_words.size(), 8u);  // 2 RAMs x 4 words
+  for (int jobs : {2, 4}) {
+    SCOPED_TRACE(cat("jobs=", jobs));
+    expect_identical(serial, run_sharded(nl, tech, map, jobs, pokes, kHorizon,
+                                         0, ck, 4'000));
+  }
+}
+
+// --------------------------------------------------- domain-map derivation
+
+// derive_domains: seeded cells keep their label and act as cuts, producers
+// flood to their nearest seed (min label on ties), unreached cells land in
+// the trailing environment bucket.
+TEST(SimParallel, DeriveDomainsSeedsCutsAndEnvBucket) {
+  Netlist nl("t");
+  Builder b(nl);
+  NetId a = b.input("a");
+  NetId b0 = b.buf(a, "b0");
+  NetId b1 = b.buf(b0, "b1");
+  NetId b2 = b.buf(b1, "b2");
+  b.output(b2);
+  NetId u = b.input("u");
+  NetId lone = b.buf(u, "lone");  // reaches no seed
+  b.output(lone);
+
+  std::vector<int32_t> seed(nl.num_cells(), -1);
+  seed[nl.find_cell("b1").value()] = 0;
+  seed[nl.find_cell("b2").value()] = 1;
+  DomainMap map = derive_domains(nl, 2, seed);
+  EXPECT_EQ(map.num_domains, 3u);
+  EXPECT_EQ(map.cell_domain[nl.find_cell("b1").value()], 0u);
+  EXPECT_EQ(map.cell_domain[nl.find_cell("b2").value()], 1u);
+  // b0 floods from b1 only: b2's flood stops at the b1 cut.
+  EXPECT_EQ(map.cell_domain[nl.find_cell("b0").value()], 0u);
+  EXPECT_EQ(map.cell_domain[nl.find_cell("lone").value()], 2u);
+}
+
+// flow::sim_domains ties the shards to the resolved partition: one domain
+// per bank-pair group holding its own storage, plus the environment pair
+// and the unreached bucket.
+TEST(SimParallel, SimDomainsFollowThePartition) {
+  const Tech& tech = Tech::generic90();
+  circuits::Circuit c = circuits::pipeline(4, 8, 2);
+  flow::DesyncResult dr =
+      flow::desynchronize(c.netlist, c.clock, tech, flow::DesyncOptions{});
+  const DomainMap map = flow::sim_domains(dr);
+  const auto groups = static_cast<uint32_t>(dr.partition.num_groups());
+  EXPECT_EQ(map.num_domains, groups + 2);
+  for (size_t bank = 0; bank < dr.banks.banks.size(); ++bank) {
+    if (bank / 2 >= groups) break;  // env pair
+    for (CellId cell : dr.banks.banks[bank].latches) {
+      EXPECT_EQ(map.cell_domain[cell.value()],
+                static_cast<uint32_t>(bank / 2))
+          << dr.netlist.cell(cell).name;
+    }
+  }
+}
+
+// ------------------------------------------------------- flow equivalence
+
+// The flow-equivalence verdict — streams, periods, powers, violation
+// counts — is byte-identical when both simulators shard: sim_jobs is a
+// pure performance knob end to end.
+TEST(SimParallel, FlowEqVerdictIdenticalAcrossSimJobs) {
+  const Tech& tech = Tech::generic90();
+  const std::vector<std::pair<circuits::Circuit, ctl::Protocol>> cases = [] {
+    std::vector<std::pair<circuits::Circuit, ctl::Protocol>> v;
+    v.emplace_back(circuits::pipeline(4, 8, 2), ctl::Protocol::Pulse);
+    v.emplace_back(circuits::pipeline(4, 8, 2), ctl::Protocol::FullyDecoupled);
+    v.emplace_back(circuits::counter_bank(4, 8), ctl::Protocol::SemiDecoupled);
+    return v;
+  }();
+  for (const auto& [c, protocol] : cases) {
+    SCOPED_TRACE(ctl::protocol_name(protocol));
+    auto check = [&, &c = c](int sim_jobs) {
+      verif::FlowEqOptions opt;
+      opt.rounds = 12;
+      opt.desync.protocol = protocol;
+      opt.desync.sim_jobs = sim_jobs;
+      return verif::check_flow_equivalence(c.netlist, c.clock,
+                                           verif::random_stimulus(17), tech,
+                                           opt);
+    };
+    const verif::FlowEqResult serial = check(1);
+    EXPECT_TRUE(serial.equivalent) << serial.mismatch;
+    for (int jobs : {2, 4}) {
+      SCOPED_TRACE(cat("sim_jobs=", jobs));
+      const verif::FlowEqResult par = check(jobs);
+      EXPECT_EQ(serial.equivalent, par.equivalent);
+      EXPECT_EQ(serial.mismatch, par.mismatch);
+      EXPECT_EQ(serial.registers_compared, par.registers_compared);
+      EXPECT_EQ(serial.captures_compared, par.captures_compared);
+      EXPECT_EQ(serial.sync_period, par.sync_period);
+      EXPECT_EQ(serial.desync_period, par.desync_period);
+      EXPECT_EQ(serial.predicted_period, par.predicted_period);
+      EXPECT_EQ(serial.sync_setup_violations, par.sync_setup_violations);
+      EXPECT_EQ(serial.desync_setup_violations, par.desync_setup_violations);
+      EXPECT_EQ(serial.sync_power_mw, par.sync_power_mw);
+      EXPECT_EQ(serial.desync_power_mw, par.desync_power_mw);
+      EXPECT_EQ(serial.sync_clock_power_mw, par.sync_clock_power_mw);
+      EXPECT_EQ(serial.desync_ctl_power_mw, par.desync_ctl_power_mw);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace desyn::sim
