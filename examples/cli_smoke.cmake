@@ -53,3 +53,40 @@ execute_process(COMMAND ${CLI} sweep --margins 1.1 --rounds 10
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "desyn_cli sweep --strategies failed with exit code ${rc}")
 endif()
+
+# 6. the analytic Monte-Carlo sweep: no simulation, and the JSON report is
+#    byte-identical for any --jobs x --mc-jobs combination.
+execute_process(COMMAND ${CLI} sweep --margins 1.1 --protocol pulse
+    --mc-samples 32 --mc-seed 3 --stable --json mc_serial.json
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "desyn_cli sweep --mc-samples failed with exit code ${rc}")
+endif()
+execute_process(COMMAND ${CLI} sweep --margins 1.1 --protocol pulse
+    --mc-samples 32 --mc-seed 3 --stable --json mc_parallel.json
+    --jobs 2 --mc-jobs 4
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "parallel MC sweep failed with exit code ${rc}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+    ${WORKDIR}/mc_serial.json ${WORKDIR}/mc_parallel.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "MC sweep JSON differs across job counts")
+endif()
+
+# 7. the margin optimizer on the quickstart design (file-input path):
+#    exits nonzero if the optimized design yields worse than the baseline.
+execute_process(COMMAND ${CLI} optimize-margins quickstart_sync.v clk 1.3
+    --mc-samples 32 --json margins.json --out cli_margins.v
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "desyn_cli optimize-margins failed with exit code ${rc}")
+endif()
+if(NOT EXISTS ${WORKDIR}/cli_margins.v)
+  message(FATAL_ERROR "optimize-margins did not write cli_margins.v")
+endif()

@@ -43,6 +43,38 @@
 // --stable omits the wall-clock fields from it so two runs of the same
 // sweep diff cleanly.
 //
+// Monte-Carlo sweep mode — pass --mc-samples to switch the sweep from
+// simulation to the analytic variation model (flow/mc.h): every cell is
+// desynchronized and its hardware timed model is swept over N statistical
+// samples by one batched Howard solve, reporting the period distribution
+// (p50/p95/max), the worst setup-slack distribution and the zero-violation
+// yield. No gate-level simulation runs, so the MC sweep covers the same
+// matrix orders of magnitude faster:
+//
+//   desyn_cli sweep --mc-samples 256 [--mc-seed S] [--mc-sigma 0.05]
+//                   [--mc-jobs N] [other sweep options]
+//
+// --mc-jobs N solves each cell's sample batch on N threads; reports are
+// byte-identical for any --mc-jobs x --jobs combination (every draw is a
+// pure function of its (seed, stream, sample) coordinates and the batch
+// solver's blocks warm-start from cold anchors). --json writes schema
+// desyn-mc-v1 instead of the sweep schema.
+//
+// Margin-optimizer mode — replace the uniform matched-delay margin with a
+// per-destination-bank vector sized by the same Monte-Carlo model
+// (flow::optimize_margins): shave every delay line to the minimum length
+// with zero setup violations across all samples, re-run the flow at the
+// back-mapped margins and report both analyses:
+//
+//   desyn_cli optimize-margins <input.v> <clock-net> [margin] [strategy]
+//                              [--protocol <p>] [--mc-samples N]
+//                              [--mc-seed S] [--mc-sigma X] [--mc-jobs N]
+//                              [--json <path>] [--out <optimized.v>]
+//   desyn_cli optimize-margins --circuit <suite-name> [margin] [strategy] ...
+//
+// Exits nonzero when the optimized design has more violation samples than
+// the baseline (the optimizer's equal-yield contract).
+//
 // Server mode — the flow as a persistent service (protocol desyn-svc-v1,
 // see src/svc/server.h):
 //
@@ -84,6 +116,7 @@
 #include "core/desynchronizer.h"
 #include "core/report.h"
 #include "flow/engine.h"
+#include "flow/mc.h"
 #include "netlist/query.h"
 #include "netlist/reader.h"
 #include "netlist/writer.h"
@@ -170,6 +203,164 @@ void write_sweep_json(const std::string& path,
   out << "\n}\n";
 }
 
+/// One cell of the Monte-Carlo sweep (--mc-samples): the analytic variation
+/// report instead of a simulated flow-equivalence run.
+struct McSweepCell {
+  size_t suite_idx;
+  size_t strategy_idx;
+  ctl::Protocol protocol;
+  double margin;
+  flow::McReport rep;
+  double wall_ms = 0;
+  std::string error;  ///< nonempty when the flow threw; cell failed
+};
+
+/// One McReport as a JSON object body (shared by the desyn-mc-v1 sweep
+/// report and the optimize-margins report).
+std::string mc_report_json(const flow::McReport& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "\"samples\": %zu, \"mcr_arcs\": %zu, \"nominal_period_ps\": %.6f,\n"
+      "     \"period_ps\": {\"p50\": %.6f, \"p95\": %.6f, \"min\": %.6f, "
+      "\"max\": %.6f},\n"
+      "     \"min_slack_ps\": {\"p50\": %.6f, \"p95\": %.6f, \"min\": %.6f, "
+      "\"max\": %.6f},\n"
+      "     \"violation_samples\": %zu, \"yield\": %.6f",
+      r.samples, r.mcr_arcs, r.nominal_period, r.period.p50, r.period.p95,
+      r.period.min, r.period.max, r.min_slack.p50, r.min_slack.p95,
+      r.min_slack.min, r.min_slack.max, r.violation_samples, r.yield);
+  return buf;
+}
+
+/// Structured MC sweep report (schema "desyn-mc-v1", see docs/PERF.md).
+/// Deterministic for any --jobs / --mc-jobs combination; --stable omits
+/// the wall-clock fields so two runs diff cleanly.
+void write_mc_json(const std::string& path,
+                   const std::vector<circuits::Suite>& suite,
+                   const std::vector<flow::PartitionSpec>& strategies,
+                   const std::vector<McSweepCell>& cells,
+                   const flow::McOptions& mc, int failures, bool stable,
+                   double total_ms) {
+  std::ofstream out(path);
+  if (!out) fail("cannot write ", path);
+  char buf[256];
+  out << "{\n  \"schema\": \"desyn-mc-v1\",\n";
+  std::snprintf(buf, sizeof buf,
+                "  \"samples\": %zu, \"seed\": %llu, \"sigma\": %.6f,\n",
+                mc.samples, static_cast<unsigned long long>(mc.seed),
+                mc.sigma);
+  out << buf;
+  out << "  \"cells\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const McSweepCell& c = cells[i];
+    out << "    {\"circuit\": \"" << json::escape(suite[c.suite_idx].name)
+        << "\", \"strategy\": \""
+        << json::escape(strategies[c.strategy_idx].label())
+        << "\", \"protocol\": \"" << ctl::protocol_name(c.protocol) << "\",";
+    std::snprintf(buf, sizeof buf, " \"margin\": %.4f,", c.margin);
+    out << buf << "\n     ";
+    if (c.error.empty()) {
+      out << mc_report_json(c.rep) << ", \"ok\": true";
+    } else {
+      out << "\"ok\": false, \"error\": \"" << json::escape(c.error) << "\"";
+    }
+    if (!stable) {
+      std::snprintf(buf, sizeof buf, ",\n     \"wall_ms\": %.3f", c.wall_ms);
+      out << buf;
+    }
+    out << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"failures\": " << failures;
+  if (!stable) {
+    std::snprintf(buf, sizeof buf, ",\n  \"total_wall_ms\": %.3f", total_ms);
+    out << buf;
+  }
+  out << "\n}\n";
+}
+
+/// The --mc-samples branch of `sweep`: every cell runs through the flow
+/// engine's cached MC stage instead of the flow-equivalence checker.
+int run_mc_sweep(const std::vector<circuits::Suite>& suite,
+                 const std::vector<flow::PartitionSpec>& strategies,
+                 const std::vector<ctl::Protocol>& protocols,
+                 const std::vector<double>& margins,
+                 const flow::McOptions& mc, int jobs, int opt_jobs,
+                 const std::string& json_path, bool stable) {
+  std::vector<McSweepCell> cells;
+  for (size_t si = 0; si < suite.size(); ++si) {
+    for (size_t st = 0; st < strategies.size(); ++st) {
+      for (ctl::Protocol p : protocols) {
+        for (double m : margins) cells.push_back({si, st, p, m, {}, 0.0, ""});
+      }
+    }
+  }
+
+  const cell::Tech& tech = cell::Tech::generic90();
+  flow::Engine& engine = flow::Engine::process(tech);
+  auto t0 = std::chrono::steady_clock::now();
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      size_t i = next.fetch_add(1);
+      if (i >= cells.size()) return;
+      McSweepCell& c = cells[i];
+      const circuits::Suite& s = suite[c.suite_idx];
+      auto start = std::chrono::steady_clock::now();
+      flow::DesyncOptions opt;
+      opt.strategy = strategies[c.strategy_idx];
+      opt.margin = c.margin;
+      opt.protocol = c.protocol;
+      opt.opt_jobs = opt_jobs;
+      try {
+        c.rep = *engine.mc(s.circuit.netlist, s.circuit.clock, opt, mc);
+      } catch (const std::exception& e) {
+        c.error = e.what();  // recorded per cell, sweep continues
+      }
+      c.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    }
+  };
+  std::vector<std::thread> pool;
+  jobs = std::min(jobs, static_cast<int>(cells.size()));
+  for (int j = 1; j < jobs; ++j) pool.emplace_back(worker);
+  worker();
+  for (std::thread& th : pool) th.join();
+  double total_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+
+  printf("%-12s %-10s %-15s %-7s %10s %10s %10s %10s %10s %6s\n", "circuit",
+         "strategy", "protocol", "margin", "nom(ps)", "p50(ps)", "p95(ps)",
+         "max(ps)", "slackmin", "yield");
+  int failures = 0;
+  for (const McSweepCell& c : cells) {
+    if (!c.error.empty()) {
+      ++failures;
+      printf("%-12s %-10s %-15s %-7.2f FAILED: %s\n",
+             suite[c.suite_idx].name.c_str(),
+             strategies[c.strategy_idx].label().c_str(),
+             ctl::protocol_name(c.protocol), c.margin, c.error.c_str());
+      continue;
+    }
+    printf("%-12s %-10s %-15s %-7.2f %10.0f %10.0f %10.0f %10.0f %10.0f "
+           "%6.3f\n",
+           suite[c.suite_idx].name.c_str(),
+           strategies[c.strategy_idx].label().c_str(),
+           ctl::protocol_name(c.protocol), c.margin, c.rep.nominal_period,
+           c.rep.period.p50, c.rep.period.p95, c.rep.period.max,
+           c.rep.min_slack.min, c.rep.yield);
+  }
+  printf("\n%d combination(s) failed (%zu samples each)\n", failures,
+         mc.samples + 1);
+  if (!json_path.empty()) {
+    write_mc_json(json_path, suite, strategies, cells, mc, failures, stable,
+                  total_ms);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int run_sweep(int argc, char** argv) {
   std::vector<double> margins = {1.0, 1.1, 1.3};
   std::vector<ctl::Protocol> protocols(std::begin(ctl::kAllProtocols),
@@ -181,6 +372,8 @@ int run_sweep(int argc, char** argv) {
   int sim_jobs = 1;
   bool full_suite = false;
   bool stable = false;
+  bool mc_mode = false;
+  flow::McOptions mc;
   std::string json_path;
   for (int i = 2; i < argc; ++i) {
     std::string a = argv[i];
@@ -210,6 +403,20 @@ int run_sweep(int argc, char** argv) {
       stable = true;
     } else if (a == "--full-suite") {
       full_suite = true;
+    } else if (a == "--mc-samples") {
+      mc.samples = static_cast<size_t>(
+          cli::parse_count(cli::need_value(argc, argv, i, "--mc-samples"),
+                           "--mc-samples value"));
+      mc_mode = true;
+    } else if (a == "--mc-seed") {
+      mc.seed = static_cast<uint64_t>(cli::parse_nonneg(
+          cli::need_value(argc, argv, i, "--mc-seed"), "--mc-seed value"));
+    } else if (a == "--mc-sigma") {
+      mc.sigma = cli::parse_nonneg(
+          cli::need_value(argc, argv, i, "--mc-sigma"), "--mc-sigma value");
+    } else if (a == "--mc-jobs") {
+      mc.jobs = cli::parse_count(cli::need_value(argc, argv, i, "--mc-jobs"),
+                                 "--mc-jobs value");
     } else {
       fail("unknown sweep option '", a, "'");
     }
@@ -224,6 +431,11 @@ int run_sweep(int argc, char** argv) {
         s.name == "mesh6x6x2") {
       suite.push_back(std::move(s));
     }
+  }
+
+  if (mc_mode) {
+    return run_mc_sweep(suite, strategies, protocols, margins, mc, jobs,
+                        opt_jobs, json_path, stable);
   }
 
   const cell::Tech& tech = cell::Tech::generic90();
@@ -512,6 +724,160 @@ int run_lint(int argc, char** argv) {
   return error_runs ? 1 : 0;
 }
 
+/// `desyn_cli optimize-margins` — run flow::optimize_margins on one design
+/// (an input file or a named suite circuit) and report the per-bank margin
+/// vector, the delay-line area recovered and both Monte-Carlo analyses.
+/// Exits 1 when the optimized design violates in more samples than the
+/// baseline (the optimizer's equal-yield contract).
+int run_optimize_margins(int argc, char** argv) {
+  std::vector<std::string> pos;
+  std::string circuit_name, json_path, out_path;
+  ctl::Protocol protocol = ctl::Protocol::Pulse;
+  flow::McOptions mc;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--protocol") {
+      protocol =
+          ctl::parse_protocol(cli::need_value(argc, argv, i, "--protocol"));
+    } else if (a == "--circuit") {
+      circuit_name = cli::need_value(argc, argv, i, "--circuit");
+    } else if (a == "--json") {
+      json_path = cli::need_value(argc, argv, i, "--json");
+    } else if (a == "--out") {
+      out_path = cli::need_value(argc, argv, i, "--out");
+    } else if (a == "--mc-samples") {
+      mc.samples = static_cast<size_t>(
+          cli::parse_count(cli::need_value(argc, argv, i, "--mc-samples"),
+                           "--mc-samples value"));
+    } else if (a == "--mc-seed") {
+      mc.seed = static_cast<uint64_t>(cli::parse_nonneg(
+          cli::need_value(argc, argv, i, "--mc-seed"), "--mc-seed value"));
+    } else if (a == "--mc-sigma") {
+      mc.sigma = cli::parse_nonneg(
+          cli::need_value(argc, argv, i, "--mc-sigma"), "--mc-sigma value");
+    } else if (a == "--mc-jobs") {
+      mc.jobs = cli::parse_count(cli::need_value(argc, argv, i, "--mc-jobs"),
+                                 "--mc-jobs value");
+    } else {
+      pos.push_back(a);
+    }
+  }
+
+  // The design: a named scaling-suite circuit or a Verilog file + clock.
+  circuits::Circuit circuit{nl::Netlist("design"), {}};
+  std::string name;
+  size_t opt_pos = 0;  // index of the optional [margin] positional
+  if (!circuit_name.empty()) {
+    bool found = false;
+    for (circuits::Suite& s : circuits::scaling_suite()) {
+      if (s.name == circuit_name) {
+        circuit = std::move(s.circuit);
+        name = s.name;
+        found = true;
+        break;
+      }
+    }
+    if (!found) fail("no suite circuit named '", circuit_name, "'");
+  } else {
+    if (pos.size() < 2) {
+      fail("optimize-margins needs <input.v> <clock-net> (or --circuit "
+           "<suite-name>); see usage");
+    }
+    std::ifstream in(pos[0]);
+    if (!in) fail("cannot open ", pos[0]);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    circuit.netlist = nl::read_verilog(ss.str(), pos[0]);
+    circuit.clock = circuit.netlist.find_net(pos[1]);
+    if (!circuit.clock.valid()) {
+      fail("no net named '", pos[1], "' in ", pos[0]);
+    }
+    name = circuit.netlist.name();
+    opt_pos = 2;
+  }
+
+  flow::DesyncOptions opt;
+  opt.protocol = protocol;
+  if (pos.size() > opt_pos) opt.margin = cli::parse_margin(pos[opt_pos]);
+  if (pos.size() > opt_pos + 1) {
+    opt.strategy = flow::PartitionSpec::parse(pos[opt_pos + 1]);
+  }
+
+  const cell::Tech& tech = cell::Tech::generic90();
+  flow::MarginOptResult res =
+      flow::optimize_margins(circuit.netlist, circuit.clock, tech, opt, mc);
+
+  std::printf("circuit : %s (%s, %s, margin %.2f, %zu+%zu samples)\n",
+              name.c_str(), opt.strategy.label().c_str(),
+              ctl::protocol_name(protocol), opt.margin,
+              res.baseline.corner_samples, mc.samples);
+  std::printf("banks shaved    : %zu of %zu\n", res.banks_shaved,
+              res.margins.size());
+  std::printf("delay cells     : %zu -> %zu (%.1f%% recovered)\n",
+              res.delay_cells_before, res.delay_cells_after,
+              res.delay_cells_before
+                  ? 100.0 *
+                        static_cast<double>(res.delay_cells_before -
+                                            res.delay_cells_after) /
+                        static_cast<double>(res.delay_cells_before)
+                  : 0.0);
+  auto print_report = [](const char* label, const flow::McReport& r) {
+    std::printf("%s: nominal %.0fps, p50 %.0fps, p95 %.0fps, max %.0fps, "
+                "worst slack %.0fps, yield %.3f (%zu violating)\n",
+                label, r.nominal_period, r.period.p50, r.period.p95,
+                r.period.max, r.min_slack.min, r.yield, r.violation_samples);
+  };
+  print_report("baseline ", res.baseline);
+  print_report("optimized", res.optimized);
+  for (size_t b = 0; b < res.margins.size(); ++b) {
+    if (res.margins[b] > 0) {
+      std::printf("  bank %-3zu margin %.2f -> %.4f\n", b, opt.margin,
+                  res.margins[b]);
+    }
+  }
+
+  if (!out_path.empty()) {
+    flow::DesyncOptions opt2 = opt;
+    opt2.margins = res.margins;
+    flow::DesyncResult dr =
+        flow::desynchronize(circuit.netlist, circuit.clock, tech, opt2);
+    std::ofstream out(out_path);
+    if (!out) fail("cannot write ", out_path);
+    nl::write_verilog(dr.netlist, out);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) fail("cannot write ", json_path);
+    char buf[128];
+    out << "{\n  \"schema\": \"desyn-margins-v1\",\n";
+    out << "  \"circuit\": \"" << json::escape(name) << "\", \"strategy\": \""
+        << json::escape(opt.strategy.label()) << "\", \"protocol\": \""
+        << ctl::protocol_name(protocol) << "\",";
+    std::snprintf(buf, sizeof buf, " \"margin\": %.4f,\n", opt.margin);
+    out << buf;
+    out << "  \"banks_shaved\": " << res.banks_shaved
+        << ", \"delay_cells_before\": " << res.delay_cells_before
+        << ", \"delay_cells_after\": " << res.delay_cells_after << ",\n";
+    out << "  \"margins\": [";
+    for (size_t b = 0; b < res.margins.size(); ++b) {
+      std::snprintf(buf, sizeof buf, "%s%.6f", b ? ", " : "",
+                    res.margins[b]);
+      out << buf;
+    }
+    out << "],\n";
+    out << "  \"baseline\": {" << mc_report_json(res.baseline) << "},\n";
+    out << "  \"optimized\": {" << mc_report_json(res.optimized) << "}\n";
+    out << "}\n";
+  }
+
+  // The equal-yield contract is the pass/fail line.
+  return res.optimized.violation_samples <= res.baseline.violation_samples
+             ? 0
+             : 1;
+}
+
 int run_single(int argc, char** argv) {
   // Positional arguments with optional flags anywhere after them.
   std::vector<std::string> pos;
@@ -543,6 +909,15 @@ int run_single(int argc, char** argv) {
                  "[--strategies prefix,perff,single,auto:1.05]\n"
                  "                 [--rounds N] [--full-suite] [--jobs N] "
                  "[--opt-jobs N] [--sim-jobs N] [--json <path>] [--stable]\n"
+                 "                 [--mc-samples N [--mc-seed S] "
+                 "[--mc-sigma X] [--mc-jobs N]]  (analytic MC mode)\n"
+                 "       desyn_cli optimize-margins <input.v> <clock-net> "
+                 "[margin] [strategy] [--protocol <p>]\n"
+                 "                 [--mc-samples N] [--mc-seed S] "
+                 "[--mc-sigma X] [--mc-jobs N] [--json <path>] "
+                 "[--out <file.v>]\n"
+                 "       desyn_cli optimize-margins --circuit <suite-name> "
+                 "[margin] [strategy] [...]\n"
                  "       desyn_cli serve --socket <path> [--threads N] "
                  "[--capacity N] [--cache-dir <dir>]\n"
                  "       desyn_cli submit <input.v> <clock-net> --socket "
@@ -631,6 +1006,9 @@ int main(int argc, char** argv) {
     }
     if (argc > 1 && std::string(argv[1]) == "lint") {
       return run_lint(argc, argv);
+    }
+    if (argc > 1 && std::string(argv[1]) == "optimize-margins") {
+      return run_optimize_margins(argc, argv);
     }
     return run_single(argc, argv);
   } catch (const Error& e) {

@@ -1,0 +1,46 @@
+// Process-variation delay model for Monte-Carlo timing analysis.
+//
+// Each sampled element (a gate, a delay-line segment, a controller
+// response) gets a multiplicative delay factor. Two regimes share one
+// sample index space:
+//   * corner samples — sample i < corners.size() applies the global factor
+//     corners[i] to every element (classic PVT corners; keeping 1.0 first
+//     makes sample 0 the nominal design), and
+//   * statistical samples — every later sample draws an independent
+//     truncated-Gaussian factor per element.
+// Draws are counter-based (base/rng.h): factor(stream, sample) is a pure
+// function of (seed, stream, sample), so sample i is byte-identical no
+// matter how many --mc-jobs workers compute it or in which order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/common.h"
+
+namespace desyn::cell {
+
+/// Inverse standard-normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.15e-9 — far below sampling noise). p in (0, 1).
+double inverse_normal_cdf(double p);
+
+struct VariationModel {
+  /// Seed of every draw (the --mc-seed of a sweep).
+  uint64_t seed = 1;
+  /// Relative sigma of the per-element Gaussian, truncated at +/-3 sigma
+  /// (a physical delay cannot go negative, and far tails would only model
+  /// manufacturing rejects).
+  double sigma = 0.05;
+  /// Global corner factors applied before statistical sampling starts.
+  std::vector<double> corners = {1.0};
+
+  /// Multiplicative delay factor of element `stream` in sample `sample`.
+  double factor(uint64_t stream, size_t sample) const;
+
+  /// Total sample count needed for `statistical` non-corner samples.
+  size_t total_samples(size_t statistical) const {
+    return corners.size() + statistical;
+  }
+};
+
+}  // namespace desyn::cell

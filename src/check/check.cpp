@@ -655,7 +655,7 @@ struct Linter {
       sta.arrivals_sparse(sources, scratch);
       collect(static_cast<int>(s), [&](int d, Ps a) {
         recomputed[{static_cast<int>(s), d}] =
-            with_margin(a + setup_of(d), opt.margin);
+            with_margin(a + setup_of(d), opt.margin_of(d));
       });
       Ps po = sta::kUnreached;
       for (nl::NetId out : nl.outputs()) {
@@ -664,7 +664,7 @@ struct Linter {
       scratch.reset();
       if (po != sta::kUnreached && !src.even) {
         recomputed[{static_cast<int>(s), r.env_snk}] =
-            with_margin(po, opt.margin);
+            with_margin(po, opt.margin_of(r.env_snk));
       }
     }
     // The environment source: all primary inputs. The ex-clock input has
@@ -674,7 +674,8 @@ struct Linter {
     if (!sources.empty()) {
       sta.arrivals_sparse(sources, scratch);
       collect(-1, [&](int d, Ps a) {
-        recomputed[{r.env_src, d}] = with_margin(a + setup_of(d), opt.margin);
+        recomputed[{r.env_src, d}] =
+            with_margin(a + setup_of(d), opt.margin_of(d));
       });
       scratch.reset();
     }

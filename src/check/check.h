@@ -79,6 +79,17 @@ struct LintOptions {
   /// DesyncResult does not carry it, so the caller passes it through; the
   /// timing pass re-derives required delay-line lengths with it.
   double margin = 1.10;
+  /// Per-destination-bank overrides (DesyncOptions::margins / flow::
+  /// Margins indexing). Without these the timing pass would flag every
+  /// line optimize_margins legitimately shaved as DSN301.
+  std::vector<double> margins;
+
+  /// Effective margin for matched delays captured by `bank`.
+  double margin_of(int bank) const {
+    size_t b = static_cast<size_t>(bank);
+    return bank >= 0 && b < margins.size() && margins[b] > 0 ? margins[b]
+                                                             : margin;
+  }
 };
 
 struct LintReport {

@@ -1,5 +1,7 @@
 #include "circuits/circuits.h"
 
+#include "base/rng.h"
+
 namespace desyn::circuits {
 
 using nl::Builder;
@@ -146,7 +148,10 @@ Circuit random_pipeline(uint64_t seed, int stages, int width) {
             nl::NetId()};
   Builder b(c.netlist);
   Word w(b);
-  Rng rng(seed);
+  // Counter-based draws (base/rng.h): the k-th draw is a pure function of
+  // (seed, k), so the generated circuit is reproducible from the seed alone
+  // with no hidden stream state.
+  CounterRng rng(seed);
   c.clock = b.input("clk");
   Bus din = w.input("din", width);
   // Pre-created stage-input nets let skip and feedback taps be wired after

@@ -136,7 +136,8 @@ struct Extractor {
 AdjacencyResult extract_control_graph(const nl::Netlist& nl,
                                       const LatchifyResult& lr,
                                       nl::NetId clock,
-                                      const cell::Tech& tech, double margin,
+                                      const cell::Tech& tech,
+                                      const Margins& margins,
                                       ctl::Protocol protocol) {
   AdjacencyResult res;
   for (const Bank& b : lr.banks) res.cg.add_bank(b.name, b.even);
@@ -145,20 +146,24 @@ AdjacencyResult extract_control_graph(const nl::Netlist& nl,
 
   Extractor ex(nl, lr, tech);
 
-  // One arrival propagation per source bank.
+  // One arrival propagation per source bank. The margin is looked up per
+  // *destination* bank: every matched delay protects the capture at its
+  // endpoint, which is where optimize_margins shaves slack.
   for (size_t s = 0; s < lr.banks.size(); ++s) {
     Ps po = ex.propagate_bank(s, [&](int d, Ps a) {
       res.cg.add_edge(static_cast<int>(s), d,
-                      with_margin(a + ex.setup_of(d), margin));
+                      with_margin(a + ex.setup_of(d), margins.of(d)));
     });
     if (po != sta::kUnreached && !lr.banks[s].even) {
-      res.cg.add_edge(static_cast<int>(s), res.env_snk, with_margin(po, margin));
+      res.cg.add_edge(static_cast<int>(s), res.env_snk,
+                      with_margin(po, margins.of(res.env_snk)));
     }
   }
 
   // Primary inputs: one propagation from all non-clock PIs.
   ex.propagate_pis(clock, [&](int d, Ps a) {
-    res.cg.add_edge(res.env_src, d, with_margin(a + ex.setup_of(d), margin));
+    res.cg.add_edge(res.env_src, d,
+                    with_margin(a + ex.setup_of(d), margins.of(d)));
   });
   res.cg.add_edge(res.env_snk, res.env_src, 0);
 
@@ -232,7 +237,7 @@ AdjacencyResult extract_control_graph(const nl::Netlist& nl,
 
 AdjacencyResult extract_control_graph_eco(
     const nl::Netlist& nl, const LatchifyResult& lr, nl::NetId clock,
-    const cell::Tech& tech, double margin, ctl::Protocol protocol,
+    const cell::Tech& tech, const Margins& margins, ctl::Protocol protocol,
     const AdjacencyResult& prev, std::span<const nl::CellId> changed,
     size_t* banks_recomputed) {
   (void)protocol;  // encoded in prev's ordering edges, which are copied
@@ -303,15 +308,17 @@ AdjacencyResult extract_control_graph_eco(
     ++ran;
     Ps po = ex.propagate_bank(s, [&](int d, Ps a) {
       fresh[key(static_cast<int>(s), d)] =
-          with_margin(a + ex.setup_of(d), margin);
+          with_margin(a + ex.setup_of(d), margins.of(d));
     });
     if (po != sta::kUnreached && !lr.banks[s].even) {
-      fresh[key(static_cast<int>(s), res.env_snk)] = with_margin(po, margin);
+      fresh[key(static_cast<int>(s), res.env_snk)] =
+          with_margin(po, margins.of(res.env_snk));
     }
   }
   if (env_affected) {
     ex.propagate_pis(clock, [&](int d, Ps a) {
-      fresh[key(res.env_src, d)] = with_margin(a + ex.setup_of(d), margin);
+      fresh[key(res.env_src, d)] =
+          with_margin(a + ex.setup_of(d), margins.of(d));
     });
   }
   if (banks_recomputed) *banks_recomputed = ran + (env_affected ? 1 : 0);

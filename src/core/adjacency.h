@@ -28,6 +28,30 @@ struct AdjacencyResult {
   int env_src = -1;
 };
 
+/// Matched-delay safety margins. The flow historically applied one global
+/// scalar to every STA-sized matched delay; flow::optimize_margins (flow/
+/// mc.h) emits a per-destination-bank vector instead — every matched delay
+/// into bank `b` is scaled by of(b). Indexing follows the control-graph
+/// bank ids (banks in LatchifyResult order, then the env pair); a bank
+/// with no entry, or a non-positive one, falls back to the global factor.
+/// A plain double converts implicitly, so single-margin callers read as
+/// before.
+struct Margins {
+  double global = 1.10;
+  std::vector<double> per_bank;
+
+  Margins() = default;
+  Margins(double g) : global(g) {}  // NOLINT(google-explicit-constructor)
+  Margins(double g, std::vector<double> pb)
+      : global(g), per_bank(std::move(pb)) {}
+
+  double of(int bank) const {
+    size_t b = static_cast<size_t>(bank);
+    return bank >= 0 && b < per_bank.size() && per_bank[b] > 0 ? per_bank[b]
+                                                               : global;
+  }
+};
+
 /// `protocol` only affects RAM-bearing designs: the ordering edges that
 /// keep a RAM's write commit inside the window its readers and command
 /// sources expect differ between the pulse and the level-enable protocols
@@ -35,7 +59,8 @@ struct AdjacencyResult {
 AdjacencyResult extract_control_graph(const nl::Netlist& nl,
                                       const LatchifyResult& lr,
                                       nl::NetId clock,
-                                      const cell::Tech& tech, double margin,
+                                      const cell::Tech& tech,
+                                      const Margins& margins,
                                       ctl::Protocol protocol =
                                           ctl::Protocol::Pulse);
 
@@ -61,7 +86,7 @@ AdjacencyResult extract_control_graph(const nl::Netlist& nl,
 /// surface it.
 AdjacencyResult extract_control_graph_eco(
     const nl::Netlist& nl, const LatchifyResult& lr, nl::NetId clock,
-    const cell::Tech& tech, double margin, ctl::Protocol protocol,
+    const cell::Tech& tech, const Margins& margins, ctl::Protocol protocol,
     const AdjacencyResult& prev, std::span<const nl::CellId> changed,
     size_t* banks_recomputed = nullptr);
 

@@ -115,16 +115,24 @@ DesyncResult desynchronize_reference(const nl::Netlist& ff_netlist,
                                      nl::NetId clock, const cell::Tech& tech,
                                      const DesyncOptions& opt) {
   DESYN_ASSERT(opt.margin >= 1.0, "matched-delay margin must be >= 1");
+  for (double m : opt.margins) {
+    DESYN_ASSERT(m <= 0.0 || m >= 1.0,
+                 "per-bank margins must be >= 1 (or <= 0 = unset)");
+  }
   DesyncResult res{ff_netlist, {}, {}, {}, {}, -1, -1, opt.protocol};
   nl::Netlist& nl = res.netlist;
 
   // Resolve the partition against the *input* netlist (cell ids are stable
-  // across the copy): Auto runs the MCR-guided optimizer here.
+  // across the copy): Auto runs the MCR-guided optimizer here. Per-bank
+  // margins do not feed the partitioner — bank ids only exist once the
+  // clustering is fixed, so the optimizer always scores at the global
+  // margin (mirrored in the engine's partition stage key).
   res.partition = make_partition(ff_netlist, clock, opt.strategy, tech,
                                  opt.protocol, opt.margin, opt.opt_jobs);
   res.banks = latchify(nl, clock, res.partition);
-  AdjacencyResult adj = extract_control_graph(nl, res.banks, clock, tech,
-                                              opt.margin, opt.protocol);
+  AdjacencyResult adj =
+      extract_control_graph(nl, res.banks, clock, tech,
+                            Margins(opt.margin, opt.margins), opt.protocol);
   res.cg = std::move(adj.cg);
   res.env_snk = adj.env_snk;
   res.env_src = adj.env_src;

@@ -27,6 +27,12 @@ struct DesyncOptions {
   /// Safety factor applied to every STA-sized matched delay; plays the role
   /// of the synchronous flow's clock-uncertainty margin.
   double margin = 1.10;
+  /// Optional per-destination-bank margin overrides (control-graph bank
+  /// ids; see flow::Margins). Empty = uniform `margin` everywhere. Every
+  /// entry must be >= 1 (or 0/negative = use the global); flow::
+  /// optimize_margins produces these. Unlike the job counts this *changes
+  /// the hardware*, so the engine hashes it into every stage key.
+  std::vector<double> margins;
   /// Handshake protocol the controllers are synthesized for. Pulse is the
   /// historical default; the Fig. 4 family (Lockstep/Semi/Fully) yields
   /// level-sensitive enables with progressively more overlap.

@@ -1,5 +1,7 @@
 #include "core/partition.h"
 
+#include "base/rng.h"
+
 #include <algorithm>
 #include <atomic>
 #include <limits>
@@ -372,12 +374,9 @@ double predicted_period(const ctl::ControlGraph& cg, ctl::Protocol protocol,
 
 namespace {
 
-/// splitmix64 finalizer for deterministic candidate tie-breaking.
-uint64_t mix(uint64_t z) {
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
-}
+/// splitmix64 finalizer for deterministic candidate tie-breaking (the
+/// shared mixing step from base/rng.h).
+uint64_t mix(uint64_t z) { return splitmix64(z); }
 
 /// Total controller + matched-delay cell count the real synthesis would
 /// spend on `cg` — counted by running it against a scratch netlist, so the

@@ -61,6 +61,10 @@ struct LintArtifact : Artifact {
   check::LintReport rep;
 };
 
+struct McAnalysisArtifact : Artifact {
+  McReport rep;
+};
+
 struct ResultArtifact : Artifact {
   std::shared_ptr<const std::string> verilog;
   FlowStats stats;
@@ -73,6 +77,19 @@ struct ResultArtifact : Artifact {
 Sha256& mix(Sha256& h, const Hash256& k) {
   return h.field(std::string_view(reinterpret_cast<const char*>(k.bytes.data()),
                                   k.bytes.size()));
+}
+
+/// Hash the per-bank margin overrides (DesyncOptions::margins) into a
+/// stage key. They change the hardware, so every stage from adjacency on
+/// must key on them — unlike opt_jobs/sim_jobs/mc jobs, which never do.
+/// Deliberately *not* part of the partition key: the partitioner always
+/// scores at the global margin (bank ids do not exist before the
+/// clustering is fixed), so per-bank overrides cannot change its answer —
+/// pinned by EngineTest.CacheKeySensitivity.
+Sha256& hash_margins(Sha256& h, const std::vector<double>& margins) {
+  h.field_u64(margins.size());
+  for (double m : margins) h.field_f64(m);
+  return h;
 }
 
 /// Hash of the storage-cell layout (id, name, kind, macro params) in id
@@ -445,6 +462,10 @@ Engine::Stages Engine::run_stages(const nl::Netlist& ff, nl::NetId clock,
                                   const Hash256& ff_hash,
                                   const Hash256& part_key) {
   DESYN_ASSERT(opt.margin >= 1.0, "matched-delay margin must be >= 1");
+  for (double m : opt.margins) {
+    DESYN_ASSERT(m <= 0.0 || m >= 1.0,
+                 "per-bank margins must be >= 1 (or <= 0 = unset)");
+  }
   const std::string clock_name = ff.net(clock).name;
 
   // ---- partition stage ----------------------------------------------------
@@ -533,6 +554,7 @@ Engine::Stages Engine::run_stages(const nl::Netlist& ff, nl::NetId clock,
       mix(h, partition_content_hash(*opt.strategy.partition, ff));
     }
     h.field_f64(opt.margin);
+    hash_margins(h, opt.margins);
     h.field_u64(static_cast<uint64_t>(opt.protocol));
     lineage_key = h.digest();
   }
@@ -556,6 +578,7 @@ Engine::Stages Engine::run_stages(const nl::Netlist& ff, nl::NetId clock,
     h.field("adjacency-v1").field(tech_.name());
     mix(h, latch_key);
     h.field_f64(opt.margin);
+    hash_margins(h, opt.margins);
     h.field_u64(static_cast<uint64_t>(opt.protocol));
     adj_key = h.digest();
   }
@@ -576,15 +599,16 @@ Engine::Stages Engine::run_stages(const nl::Netlist& ff, nl::NetId clock,
       if (prev.latch && prev.adj && diff_vs_prev().structural_same) {
         size_t retimed = 0;
         ar = extract_control_graph_eco(latch->netlist, latch->lr, lclock,
-                                       tech_, opt.margin, opt.protocol,
-                                       prev.adj->adj, diff_vs_prev().changed,
-                                       &retimed);
+                                       tech_, Margins(opt.margin, opt.margins),
+                                       opt.protocol, prev.adj->adj,
+                                       diff_vs_prev().changed, &retimed);
         std::lock_guard<std::mutex> lock(mu_);
         ++counters_.adjacency_eco;
         counters_.eco_banks_retimed += retimed;
       } else {
         ar = extract_control_graph(latch->netlist, latch->lr, lclock, tech_,
-                                   opt.margin, opt.protocol);
+                                   Margins(opt.margin, opt.margins),
+                                   opt.protocol);
         std::lock_guard<std::mutex> lock(mu_);
         ++counters_.adjacency_runs;
       }
@@ -602,6 +626,7 @@ Engine::Stages Engine::run_stages(const nl::Netlist& ff, nl::NetId clock,
     h.field("synth-v1").field(tech_.name());
     mix(h, latch_key);
     h.field_f64(opt.margin);
+    hash_margins(h, opt.margins);
     h.field_u64(static_cast<uint64_t>(opt.protocol));
     synth_key = h.digest();
   }
@@ -770,6 +795,7 @@ std::shared_ptr<const check::LintReport> Engine::lint(
     h.field(ff.net(clock).name);
     mix(h, part_key);
     h.field_f64(opt.margin);
+    hash_margins(h, opt.margins);
     h.field_u64(static_cast<uint64_t>(opt.protocol));
     key = h.digest();
   }
@@ -781,13 +807,58 @@ std::shared_ptr<const check::LintReport> Engine::lint(
   }
   Stages st = run_stages(ff, clock, opt, ff_hash, part_key);
   auto la = std::make_shared<LintArtifact>();
-  la->rep = check::lint(st.synth->result, tech_, check::LintOptions{opt.margin});
+  la->rep = check::lint(st.synth->result, tech_,
+                        check::LintOptions{opt.margin, opt.margins});
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++counters_.lint_runs;
   }
   store_.put("lint", key, la);  // memory tier only: reports are cheap to redo
   return {std::shared_ptr<const LintArtifact>(la), &la->rep};
+}
+
+std::shared_ptr<const McReport> Engine::mc(const nl::Netlist& ff,
+                                           nl::NetId clock,
+                                           const DesyncOptions& opt,
+                                           const McOptions& mc) {
+  Hash256 ff_hash = nl::content_hash(ff);
+  Hash256 part_key = partition_key(ff, clock, opt, ff_hash);
+  Hash256 key;
+  {
+    // Result-cache coordinates plus the sampling knobs that shape the
+    // distribution. `mc.jobs` is excluded: the batch solver is
+    // byte-identical at any worker count (pn::McrBatch contract), the same
+    // exclusion the partition/sim job counts get.
+    Sha256 h;
+    h.field("mc-v1").field(tech_.name());
+    mix(h, ff_hash);
+    h.field(ff.net(clock).name);
+    mix(h, part_key);
+    h.field_f64(opt.margin);
+    hash_margins(h, opt.margins);
+    h.field_u64(static_cast<uint64_t>(opt.protocol));
+    h.field_u64(mc.samples).field_u64(mc.seed);
+    h.field_f64(mc.sigma);
+    h.field_u64(mc.corners.size());
+    for (double c : mc.corners) h.field_f64(c);
+    key = h.digest();
+  }
+  if (ArtifactStore::Ptr a = store_.get("mc", key)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.mc_hits;
+    auto ma = std::static_pointer_cast<const McAnalysisArtifact>(a);
+    return {ma, &ma->rep};
+  }
+  Stages st = run_stages(ff, clock, opt, ff_hash, part_key);
+  auto ma = std::make_shared<McAnalysisArtifact>();
+  ma->rep = mc_analysis(st.synth->result, tech_,
+                        Margins(opt.margin, opt.margins), mc);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.mc_runs;
+  }
+  store_.put("mc", key, ma);  // memory tier only, like lint
+  return {std::shared_ptr<const McAnalysisArtifact>(ma), &ma->rep};
 }
 
 FlowOutcome Engine::run(const nl::Netlist& ff, nl::NetId clock,
@@ -806,6 +877,7 @@ FlowOutcome Engine::run(const nl::Netlist& ff, nl::NetId clock,
     h.field(ff.net(clock).name);
     mix(h, part_key);
     h.field_f64(opt.margin);
+    hash_margins(h, opt.margins);
     h.field_u64(static_cast<uint64_t>(opt.protocol));
     result_key = h.digest();
   }

@@ -48,6 +48,7 @@
 
 #include "core/desynchronizer.h"
 #include "flow/artifact.h"
+#include "flow/mc.h"
 #include "netlist/hash.h"
 
 namespace desyn::check {
@@ -84,6 +85,8 @@ struct StageCounters {
   size_t optimize_hits = 0;
   size_t lint_runs = 0;       ///< static-verification (check::lint) runs
   size_t lint_hits = 0;       ///< lint reports served from the cache
+  size_t mc_runs = 0;         ///< Monte-Carlo analyses (flow::mc_analysis)
+  size_t mc_hits = 0;         ///< MC reports served from the cache
 };
 
 /// The summary a flow submission reports (the server's response payload;
@@ -139,6 +142,14 @@ class Engine {
   std::shared_ptr<const check::LintReport> lint(const nl::Netlist& ff_netlist,
                                                 nl::NetId clock,
                                                 const DesyncOptions& opt);
+
+  /// Cached flow::mc_analysis of the desynchronized design: keyed at the
+  /// result-cache coordinates plus the sampling knobs (samples, seed,
+  /// sigma, corners). `mc.jobs` is excluded — reports are byte-identical
+  /// for any worker count.
+  std::shared_ptr<const McReport> mc(const nl::Netlist& ff_netlist,
+                                     nl::NetId clock, const DesyncOptions& opt,
+                                     const McOptions& mc);
 
   StageCounters counters() const;
   ArtifactStore::Stats store_stats() const;

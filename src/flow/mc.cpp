@@ -1,0 +1,317 @@
+#include "flow/mc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/rng.h"
+#include "ctl/controller.h"
+#include "pn/mcr.h"
+#include "sta/variation.h"
+
+namespace desyn::flow {
+
+namespace {
+
+/// Safety band (ps) the margin optimizer keeps above the sampled
+/// requirement. The optimized flow re-derives the raw data path by
+/// de-margining the re-sized matched delays, which can differ from the
+/// optimizer's own derivation by a couple of ps of ceil rounding (and, via
+/// path re-staging, a few more in the sampled realization); the band keeps
+/// every shave decision valid under the re-derived requirement.
+constexpr Ps kGuardPs = 8;
+
+// Stream-key derivation: every sampled element owns a distinct 64-bit
+// stream, a pure function of what the element *is* (kind, bank, index) —
+// never of evaluation order, so reports are byte-identical for any
+// --mc-jobs count or loop restructuring.
+enum StreamKind : uint64_t {
+  kLineCell = 1,  ///< (bank, cell index): one DELAY cell of the bank's line
+  kCtrlInv = 2,   ///< (bank): the marking inverter of its controller
+  kCtrlCElem = 3, ///< (bank): the C-element of its controller
+  kCtrlXor = 4,   ///< (bank): the pulse/enable XOR of its controller
+  kPulseBuf = 5,  ///< (bank): the pulse-generator buffer chain
+  kDataPath = 6,  ///< (bank): the worst data path it captures
+};
+
+uint64_t skey(uint64_t kind, uint64_t a, uint64_t b = 0) {
+  return splitmix64(kind * 0x9e3779b97f4a7c15ull +
+                    splitmix64(a * 0xbf58476d1ce4e5b9ull + b));
+}
+
+/// The hardware timed model in batchable form: the quantized control
+/// graph's arc list (flat MG arc j corresponds to arcs[j] — mg_from_arcs
+/// adds arcs in list order) plus the per-bank sizing data the sampler
+/// needs. Mirrors flow::timed_model's per-destination aggregation and
+/// quantization exactly, so sample 0 (the 1.0 corner) reproduces the
+/// nominal predicted period bit-for-bit.
+struct Model {
+  std::vector<ctl::ProtoArc> arcs;
+  pn::McrFlat flat;
+  std::vector<int> units;        ///< delay-line cells per destination bank
+  std::vector<Ps> raw_required;  ///< de-margined worst path (+setup) per bank
+  std::vector<size_t> timed_banks;  ///< banks with a timed incoming edge
+  Ps inv = 0, celem = 0, xorg = 0, unit = 0;
+  Ps pulse_width = 0;
+};
+
+Model build_model(const ctl::ControlGraph& cg, ctl::Protocol p,
+                  const cell::Tech& tech, Ps pulse_width,
+                  const Margins& margins) {
+  Model m;
+  m.inv = tech.delay(cell::Kind::Inv, 1, 1);
+  m.celem = tech.delay(cell::Kind::CElem, 2, 2);
+  m.xorg = tech.delay(cell::Kind::Xor, 2, 1);
+  m.unit = tech.delay_unit();
+  m.pulse_width = pulse_width;
+
+  const size_t nb = cg.num_banks();
+  std::vector<Ps> worst(nb, 0);
+  for (const auto& e : cg.edges()) {
+    worst[static_cast<size_t>(e.to)] =
+        std::max(worst[static_cast<size_t>(e.to)], e.matched_delay);
+  }
+  m.units.resize(nb);
+  m.raw_required.assign(nb, 0);
+  for (size_t b = 0; b < nb; ++b) {
+    m.units[b] = ctl::matched_delay_cells(worst[b], tech);
+    if (worst[b] > 0) {
+      m.timed_banks.push_back(b);
+      // worst = ceil(raw * margin), so worst / margin bounds the raw STA
+      // requirement from above by < 1 ps — conservative, never optimistic.
+      m.raw_required[b] = static_cast<Ps>(std::ceil(
+          static_cast<double>(worst[b]) / margins.of(static_cast<int>(b))));
+    }
+  }
+  ctl::ControlGraph q;
+  for (size_t i = 0; i < nb; ++i) {
+    q.add_bank(cg.bank(static_cast<int>(i)).name,
+               cg.bank(static_cast<int>(i)).even);
+  }
+  for (const auto& e : cg.edges()) {
+    q.add_edge(e.from, e.to, m.units[static_cast<size_t>(e.to)] * m.unit);
+  }
+  m.arcs = ctl::hardware_arcs(q, p);
+  m.flat = pn::flatten(ctl::mg_from_arcs(
+      "mc", q, m.arcs, ctl::controller_response_delay(tech), pulse_width));
+  DESYN_ASSERT(m.flat.from.size() == m.arcs.size());
+  return m;
+}
+
+/// One DELAY cell of bank `b`'s matched line. Each physical cell rounds to
+/// whole ps independently, like every hardware delay in the simulator.
+Ps line_cell(const Model& m, const cell::VariationModel& vm, size_t b, int k,
+             size_t s) {
+  return static_cast<Ps>(std::llround(
+      static_cast<double>(m.unit) * vm.factor(skey(kLineCell, b, static_cast<uint64_t>(k)), s)));
+}
+
+Ps line_total(const Model& m, const cell::VariationModel& vm, size_t b,
+              int cells, size_t s) {
+  Ps sum = 0;
+  for (int k = 0; k < cells; ++k) sum += line_cell(m, vm, b, k, s);
+  return sum;
+}
+
+/// Sampled controller response (marking inverter + C-element) of bank `b`.
+Ps ctrl_response(const Model& m, const cell::VariationModel& vm, size_t b,
+                 size_t s) {
+  return static_cast<Ps>(std::llround(static_cast<double>(m.inv) *
+                                      vm.factor(skey(kCtrlInv, b), s))) +
+         static_cast<Ps>(std::llround(static_cast<double>(m.celem) *
+                                      vm.factor(skey(kCtrlCElem, b), s)));
+}
+
+/// Sampled response *credit* (inverter + C-element + pulse XOR): the
+/// control stages a request traverses before the capture edge, credited
+/// against the matched line exactly as controller_response_credit is.
+Ps credit_sample(const Model& m, const cell::VariationModel& vm, size_t b,
+                 size_t s) {
+  return ctrl_response(m, vm, b, s) +
+         static_cast<Ps>(std::llround(static_cast<double>(m.xorg) *
+                                      vm.factor(skey(kCtrlXor, b), s)));
+}
+
+/// Sampled realization of the worst data path captured by bank `b`.
+Ps required_sample(const Model& m, const cell::VariationModel& vm, size_t b,
+                   Ps raw, size_t s) {
+  return sta::sample_path_delay(raw, m.unit, vm, skey(kDataPath, b), s);
+}
+
+McStats stats_of(std::vector<double> v) {
+  McStats st;
+  if (v.empty()) return st;
+  std::sort(v.begin(), v.end());
+  auto pct = [&](double p) {
+    const double idx = p * static_cast<double>(v.size() - 1);
+    const size_t lo = static_cast<size_t>(idx);
+    const size_t hi = std::min(lo + 1, v.size() - 1);
+    const double t = idx - static_cast<double>(lo);
+    return v[lo] * (1 - t) + v[hi] * t;
+  };
+  st.p50 = pct(0.5);
+  st.p95 = pct(0.95);
+  st.min = v.front();
+  st.max = v.back();
+  return st;
+}
+
+}  // namespace
+
+McReport mc_analysis(const DesyncResult& r, const cell::Tech& tech,
+                     const Margins& margins, const McOptions& opt) {
+  const Model m =
+      build_model(r.cg, r.protocol, tech, r.ctrl.pulse_width, margins);
+  const cell::VariationModel vm{opt.seed, opt.sigma, opt.corners};
+  const size_t S = vm.total_samples(opt.samples);
+  const size_t nb = r.cg.num_banks();
+  const size_t na = m.arcs.size();
+  DESYN_ASSERT(S > 0);
+
+  McReport rep;
+  rep.samples = S;
+  rep.corner_samples = vm.corners.size();
+  rep.mcr_arcs = na;
+  rep.periods.resize(S);
+  rep.min_slacks.resize(S);
+
+  // The samples x arcs delay matrix plus the per-sample slack scan. The
+  // fill is counter-based (order-free); only the batch solve is threaded.
+  std::vector<Ps> delays(S * na);
+  std::vector<Ps> line(nb), ctrl(nb), pulse(nb);
+  for (size_t s = 0; s < S; ++s) {
+    for (size_t b = 0; b < nb; ++b) {
+      line[b] = line_total(m, vm, b, m.units[b], s);
+      ctrl[b] = ctrl_response(m, vm, b, s);
+      // The pulse generator is a buffer chain; sample it as the staged
+      // path it is (3 stages at the nominal minimum width).
+      pulse[b] = sta::sample_path_delay(m.pulse_width, m.unit, vm,
+                                        skey(kPulseBuf, b), s);
+    }
+    const std::span<Ps> row(delays.data() + s * na, na);
+    for (size_t j = 0; j < na; ++j) {
+      const ctl::ProtoArc& a = m.arcs[j];
+      const size_t to = static_cast<size_t>(a.to);
+      if (a.alternation) {
+        row[j] = a.from_plus ? pulse[static_cast<size_t>(a.from)] : 0;
+      } else if (a.pred_side) {
+        row[j] = line[to] + ctrl[to];
+      } else {
+        row[j] = ctrl[to];
+      }
+    }
+    double worst_slack = std::numeric_limits<double>::infinity();
+    size_t violations = 0;
+    for (size_t b : m.timed_banks) {
+      const Ps avail = line[b] + credit_sample(m, vm, b, s);
+      const Ps req = required_sample(m, vm, b, m.raw_required[b], s);
+      const double slack = static_cast<double>(avail - req);
+      worst_slack = std::min(worst_slack, slack);
+      if (slack < 0) ++violations;
+    }
+    rep.min_slacks[s] = m.timed_banks.empty() ? 0.0 : worst_slack;
+    if (violations > 0) ++rep.violation_samples;
+  }
+
+  const pn::McrBatch batch(m.flat.view());
+  const std::vector<pn::CycleRatioResult> res =
+      batch.solve_all(delays, S, opt.jobs);
+  for (size_t s = 0; s < S; ++s) rep.periods[s] = res[s].ratio;
+  rep.nominal_period = rep.corner_samples > 0 ? rep.periods[0] : 0.0;
+  rep.period = stats_of(rep.periods);
+  rep.min_slack = stats_of(rep.min_slacks);
+  rep.yield = 1.0 - static_cast<double>(rep.violation_samples) /
+                        static_cast<double>(S);
+  return rep;
+}
+
+MarginOptResult optimize_margins(const nl::Netlist& ff, nl::NetId clock,
+                                 const cell::Tech& tech,
+                                 const DesyncOptions& opt,
+                                 const McOptions& mc) {
+  MarginOptResult out;
+  const DesyncResult base = desynchronize(ff, clock, tech, opt);
+  const Margins base_margins(opt.margin, opt.margins);
+  out.baseline = mc_analysis(base, tech, base_margins, mc);
+  out.delay_cells_before = base.ctrl.delay_units;
+
+  const Model m = build_model(base.cg, base.protocol, tech,
+                              base.ctrl.pulse_width, base_margins);
+  const cell::VariationModel vm{mc.seed, mc.sigma, mc.corners};
+  const size_t S = vm.total_samples(mc.samples);
+  const size_t nb = base.cg.num_banks();
+  const Ps credit_nom = ctl::controller_response_credit(tech);
+
+  std::vector<double> margins(nb, 0.0);
+  for (size_t b = 0; b < nb && b < opt.margins.size(); ++b) {
+    margins[b] = opt.margins[b];
+  }
+
+  for (size_t b : m.timed_banks) {
+    const int u0 = m.units[b];
+    if (u0 <= 1) continue;
+    const Ps raw = m.raw_required[b];
+
+    // Minimum cells that keep every sample's setup slack >= kGuardPs. The
+    // line prefix is monotone in the cell count (delays are positive), so
+    // the scan per sample stops at the first sufficient length; a sample
+    // even the full line cannot satisfy pins the bank at u0 (no shave —
+    // the bank's yield loss is a baseline property, not ours to worsen).
+    int need = 1;
+    for (size_t s = 0; s < S && need < u0; ++s) {
+      const Ps cr = credit_sample(m, vm, b, s);
+      const Ps req = required_sample(m, vm, b, raw, s) + kGuardPs;
+      Ps acc = 0;
+      int u = 0;
+      while (u < u0 && acc + cr < req) {
+        acc += line_cell(m, vm, b, u, s);
+        ++u;
+      }
+      need = std::max(need, u);
+    }
+
+    // Back-map the cell count to a margin landing mid-bucket on `cells`
+    // after the flow's own ceil + quantization, floored at 1.0 (margins
+    // below one are rejected everywhere). Then re-check every sample
+    // against the *re-derived* requirement — the optimized flow will
+    // de-margin its re-sized delays, which shifts the raw path by a ps or
+    // two of rounding; the recheck (plus the guard band above) keeps the
+    // shave valid under that derivation too.
+    for (int cells = std::max(need, 1); cells < u0; ++cells) {
+      double mb = (static_cast<double>(credit_nom) +
+                   (static_cast<double>(cells) - 0.5) *
+                       static_cast<double>(m.unit)) /
+                  static_cast<double>(raw);
+      mb = std::clamp(mb, 1.0, base_margins.of(static_cast<int>(b)));
+      const Ps worst_new =
+          static_cast<Ps>(std::ceil(static_cast<double>(raw) * mb));
+      const int achieved = ctl::matched_delay_cells(worst_new, tech);
+      if (achieved >= u0) break;     // the 1.0 floor undid the shave
+      if (achieved < cells) continue;
+      const Ps raw2 = static_cast<Ps>(
+          std::ceil(static_cast<double>(worst_new) / mb));
+      bool ok = true;
+      for (size_t s = 0; s < S && ok; ++s) {
+        const Ps avail = line_total(m, vm, b, achieved, s) +
+                         credit_sample(m, vm, b, s);
+        ok = avail >= required_sample(m, vm, b, raw2, s);
+      }
+      if (ok) {
+        margins[b] = mb;
+        ++out.banks_shaved;
+        break;
+      }
+    }
+  }
+  out.margins = margins;
+
+  DesyncOptions opt2 = opt;
+  opt2.margins = margins;
+  const DesyncResult shaved = desynchronize(ff, clock, tech, opt2);
+  out.optimized =
+      mc_analysis(shaved, tech, Margins(opt.margin, opt2.margins), mc);
+  out.delay_cells_after = shaved.ctrl.delay_units;
+  return out;
+}
+
+}  // namespace desyn::flow

@@ -1,7 +1,9 @@
 #include "pn/mcr.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <thread>
 
 #include "pn/analysis.h"
 
@@ -123,6 +125,25 @@ CycleRatioResult reference_flat(const McrArcs& g) {
 
 constexpr double kEpsRatio = 1e-9;
 constexpr double kEpsPotential = 1e-7;
+// Caps for the Gauss-Seidel fast path (attempt 0 of McrScratch::howard).
+// kMaxImproveSweeps bounds the inner sweeps per improve phase: one forward
+// plus one backward sweep delivers most of the propagation win, and every
+// further full-graph sweep chases a handful of trailing flips that the next
+// evaluate+improve round picks up anyway (measured: 2 beats both 1 and
+// larger caps on the mesh control graphs). kGsIterCap bounds the outer GS
+// iterations: a converging GS run finishes in well under 32, so anything
+// longer is the self-referential-propagation cycle described at the attempt
+// loop and should restart as plain Jacobi instead of burning the full
+// component cap.
+constexpr int kMaxImproveSweeps = 2;
+constexpr int kGsIterCap = 32;
+// Pop budget of the certificate-repair worklist in McrBatch::solve_all, as
+// a multiple of the node count. Warm potentials from the previous sample
+// settle after roughly one node's worth of pops plus local cascades; a
+// relaxation that keeps popping has a cycle with ratio above the candidate
+// lambda (d rises around it forever) and must fall back to a full Howard
+// solve.
+constexpr size_t kCertPopFactor = 8;
 constexpr uint32_t kNoArc = UINT32_MAX;
 
 }  // namespace
@@ -177,16 +198,13 @@ double cycle_ratio(const MarkedGraph& mg, std::span<const ArcId> arcs) {
 }
 
 // ---------------------------------------------------------------------------
-// McrContext: Howard's policy iteration on the flat view, warm-startable
+// McrScratch: the delay-independent and per-solve phases of a Howard solve
 // ---------------------------------------------------------------------------
 
-CycleRatioResult McrContext::run(const McrArcs& g,
-                                 std::span<const uint32_t> node_map,
-                                 McrScratch& s, bool* warmed) const {
+int McrScratch::build_structure(const McrArcs& g) {
+  McrScratch& s = *this;
   const uint32_t n = g.num_nodes;
   const uint32_t m = static_cast<uint32_t>(g.num_arcs());
-  *warmed = false;
-  DESYN_ASSERT(g.to.size() == m && g.tokens.size() == m && g.delay.size() == m);
 
   // ---- out-arc CSR (for Tarjan), arc ids ascending per node -------------
   s.out_off_.assign(n + 1, 0);
@@ -271,8 +289,12 @@ CycleRatioResult McrContext::run(const McrArcs& g,
   for (uint32_t v = 0; v < n; ++v) {
     s.members_[s.low_[static_cast<size_t>(s.comp_[v])]++] = v;
   }
+  return comps;
+}
 
-  // ---- policy initialization: cold default, then inherited baseline -----
+void McrScratch::init_policy_cold(const McrArcs& g) {
+  McrScratch& s = *this;
+  const uint32_t n = g.num_nodes;
   s.policy_.assign(n, kNoArc);
   s.r_.assign(n, 0.0);
   s.d_.assign(n, 0.0);
@@ -281,30 +303,16 @@ CycleRatioResult McrContext::run(const McrArcs& g,
       s.policy_[v] = s.csr_arc_[s.csr_off_[v]];
     }
   }
-  // state_ doubles as "node already inherited a policy" during init.
+  // state_ doubles as "node already inherited a policy" during a warm
+  // init (McrContext::run); Howard itself resets it per component.
   s.state_.assign(n, 0);
-  if (!node_map.empty() && base_nodes_ > 0 &&
-      node_map.size() == base_nodes_) {
-    // Map the baseline policy through the delta. The arc list is shared
-    // across the delta (endpoints re-pointed in place), so a policy arc is
-    // inherited iff it still leaves its mapped node and stays inside the
-    // node's strongly-connected component. When several baseline nodes map
-    // to one node (a merge), the one whose baseline cycle ratio is larger
-    // wins — it was the binding constraint — ties to the smaller node id.
-    for (uint32_t u = 0; u < base_nodes_; ++u) {
-      uint32_t v = node_map[u];
-      if (v >= n) continue;
-      uint32_t a = base_policy_[u];
-      if (a == kNoArc || a >= m) continue;
-      if (g.from[a] != v) continue;
-      if (s.comp_[g.from[a]] != s.comp_[g.to[a]]) continue;
-      if (s.state_[v] && !(base_r_[u] > s.r_[v])) continue;
-      s.policy_[v] = a;
-      s.r_[v] = base_r_[u];
-      s.state_[v] = 1;
-      *warmed = true;
-    }
-  }
+}
+
+CycleRatioResult McrScratch::howard(const McrArcs& g, int comps) {
+  McrScratch& s = *this;
+  DESYN_ASSERT(g.to.size() == g.from.size() &&
+               g.tokens.size() == g.from.size() &&
+               g.delay.size() == g.from.size());
 
   // ---- Howard per component ---------------------------------------------
   double best = -1.0;
@@ -325,7 +333,29 @@ CycleRatioResult McrContext::run(const McrArcs& g,
     double comp_best = -1.0;
     size_t comp_best_off = 0, comp_best_len = 0;
     bool converged = false;
-    for (int iter = 0; iter < cap; ++iter) {
+    for (int attempt = 0; attempt < 2 && !converged; ++attempt) {
+    // Attempt 0 accelerates improvement with Gauss-Seidel sweeps (immediate
+    // value updates, alternating direction). GS collapses the improvement
+    // chains that plain Jacobi resolves one hop per evaluate, but mutual
+    // r-propagation can occasionally close a self-referential policy cycle
+    // whose true ratio is below the propagated values — evaluate then
+    // lowers r and the flips repeat. Attempt 1 therefore restarts the
+    // component cold and runs the plain Jacobi improvement (one
+    // un-propagated pass per phase), which has converged on every graph
+    // seen in practice; the reference solver remains the last resort.
+    const bool gs = attempt == 0;
+    const int acap = gs ? kGsIterCap : cap;
+    if (attempt == 1) {
+      for (uint32_t i = mb; i < me; ++i) {
+        uint32_t v = s.members_[i];
+        s.policy_[v] =
+            s.csr_off_[v] < s.csr_off_[v + 1] ? s.csr_arc_[s.csr_off_[v]]
+                                              : kNoArc;
+        s.r_[v] = 0.0;
+        s.d_[v] = 0.0;
+      }
+    }
+    for (int iter = 0; iter < acap; ++iter) {
       // -- evaluate: score the policy graph, track its best cycle --------
       comp_best = -1.0;
       comp_best_len = 0;
@@ -385,44 +415,62 @@ CycleRatioResult McrContext::run(const McrArcs& g,
         }
         for (uint32_t w : s.path_) s.state_[w] = 2;
       }
-      // -- improve: better cycle ratio first, then better potential ------
+      // -- improve: better cycle ratio first, then better potential.
+      // Convergence is judged on evaluated values either way: an iteration
+      // whose first ratio sweep and first potential sweep flip nothing is
+      // converged (with one sweep and no value writes, the gs = false body
+      // is exactly the classic Jacobi improvement pass).
       bool improved = false;
-      for (uint32_t i = mb; i < me; ++i) {
-        uint32_t v = s.members_[i];
-        double br = s.r_[v];
-        uint32_t ba = s.policy_[v];
-        for (uint32_t k = s.csr_off_[v]; k < s.csr_off_[v + 1]; ++k) {
-          uint32_t a = s.csr_arc_[k];
-          if (s.r_[g.to[a]] > br + kEpsRatio) {
-            br = s.r_[g.to[a]];
-            ba = a;
-          }
-        }
-        if (ba != s.policy_[v]) {
-          s.policy_[v] = ba;
-          improved = true;
-        }
-      }
-      if (!improved) {
-        for (uint32_t i = mb; i < me; ++i) {
-          uint32_t v = s.members_[i];
-          double bd = s.d_[v];
+      for (int sweep = 0; sweep < (gs ? kMaxImproveSweeps : 1); ++sweep) {
+        bool any = false;
+        const bool fwd = (sweep % 2) == 0;
+        for (uint32_t step = 0; step < me - mb; ++step) {
+          uint32_t v = s.members_[fwd ? mb + step : me - 1 - step];
+          double br = s.r_[v];
           uint32_t ba = s.policy_[v];
           for (uint32_t k = s.csr_off_[v]; k < s.csr_off_[v + 1]; ++k) {
             uint32_t a = s.csr_arc_[k];
-            uint32_t w = g.to[a];
-            if (s.r_[w] + kEpsRatio < s.r_[v]) continue;
-            double val = s.d_[w] + static_cast<double>(g.delay[a]) -
-                         s.r_[v] * static_cast<double>(g.tokens[a]);
-            if (val > bd + kEpsPotential) {
-              bd = val;
+            if (s.r_[g.to[a]] > br + kEpsRatio) {
+              br = s.r_[g.to[a]];
               ba = a;
             }
           }
           if (ba != s.policy_[v]) {
             s.policy_[v] = ba;
+            if (gs) s.r_[v] = br;
+            any = true;
             improved = true;
           }
+        }
+        if (!any) break;
+      }
+      if (!improved) {
+        for (int sweep = 0; sweep < (gs ? kMaxImproveSweeps : 1); ++sweep) {
+          bool any = false;
+          const bool fwd = (sweep % 2) == 0;
+          for (uint32_t step = 0; step < me - mb; ++step) {
+            uint32_t v = s.members_[fwd ? mb + step : me - 1 - step];
+            double bd = s.d_[v];
+            uint32_t ba = s.policy_[v];
+            for (uint32_t k = s.csr_off_[v]; k < s.csr_off_[v + 1]; ++k) {
+              uint32_t a = s.csr_arc_[k];
+              uint32_t w = g.to[a];
+              if (s.r_[w] + kEpsRatio < s.r_[v]) continue;
+              double val = s.d_[w] + static_cast<double>(g.delay[a]) -
+                           s.r_[v] * static_cast<double>(g.tokens[a]);
+              if (val > bd + kEpsPotential) {
+                bd = val;
+                ba = a;
+              }
+            }
+            if (ba != s.policy_[v]) {
+              s.policy_[v] = ba;
+              if (gs) s.d_[v] = bd;
+              any = true;
+              improved = true;
+            }
+          }
+          if (!any) break;
         }
       }
       if (!improved) {
@@ -430,9 +478,11 @@ CycleRatioResult McrContext::run(const McrArcs& g,
         break;
       }
     }
+    }
     if (!converged) {
-      // Epsilon-induced policy cycling (never observed in practice): hand
-      // the whole graph to the independent reference solver.
+      // Epsilon-induced policy cycling survived even a component-local
+      // cold restart (never observed in practice): hand the whole graph to
+      // the independent reference solver.
       s.howard_converged_ = false;
       return reference_flat(g);
     }
@@ -456,6 +506,48 @@ CycleRatioResult McrContext::run(const McrArcs& g,
   res.ratio = cycle_ratio(g, arcs);  // exact D/T of the critical cycle
   set_cycle(g, std::move(arcs), &res);
   return res;
+}
+
+// ---------------------------------------------------------------------------
+// McrContext: Howard's policy iteration on the flat view, warm-startable
+// ---------------------------------------------------------------------------
+
+CycleRatioResult McrContext::run(const McrArcs& g,
+                                 std::span<const uint32_t> node_map,
+                                 McrScratch& s, bool* warmed) const {
+  const uint32_t n = g.num_nodes;
+  const uint32_t m = static_cast<uint32_t>(g.num_arcs());
+  *warmed = false;
+  DESYN_ASSERT(g.to.size() == m && g.tokens.size() == m && g.delay.size() == m);
+
+  const int comps = s.build_structure(g);
+
+  // ---- policy initialization: cold default, then inherited baseline -----
+  s.init_policy_cold(g);
+  if (!node_map.empty() && base_nodes_ > 0 &&
+      node_map.size() == base_nodes_) {
+    // Map the baseline policy through the delta. The arc list is shared
+    // across the delta (endpoints re-pointed in place), so a policy arc is
+    // inherited iff it still leaves its mapped node and stays inside the
+    // node's strongly-connected component. When several baseline nodes map
+    // to one node (a merge), the one whose baseline cycle ratio is larger
+    // wins — it was the binding constraint — ties to the smaller node id.
+    for (uint32_t u = 0; u < base_nodes_; ++u) {
+      uint32_t v = node_map[u];
+      if (v >= n) continue;
+      uint32_t a = base_policy_[u];
+      if (a == kNoArc || a >= m) continue;
+      if (g.from[a] != v) continue;
+      if (s.comp_[g.from[a]] != s.comp_[g.to[a]]) continue;
+      if (s.state_[v] && !(base_r_[u] > s.r_[v])) continue;
+      s.policy_[v] = a;
+      s.r_[v] = base_r_[u];
+      s.state_[v] = 1;
+      *warmed = true;
+    }
+  }
+
+  return s.howard(g, comps);
 }
 
 void McrContext::adopt(const McrArcs& g) {
@@ -524,6 +616,249 @@ void McrContext::remap_baseline_arcs(std::span<const uint32_t> arc_map) {
     if (a == kNoArc) continue;
     a = a < arc_map.size() ? arc_map[a] : kNoArc;
   }
+}
+
+// ---------------------------------------------------------------------------
+// McrBatch: structure-shared batch solves for Monte-Carlo sweeps
+// ---------------------------------------------------------------------------
+
+McrBatch::McrBatch(const McrArcs& g)
+    : num_nodes_(g.num_nodes),
+      from_(g.from.begin(), g.from.end()),
+      to_(g.to.begin(), g.to.end()),
+      tokens_(g.tokens.begin(), g.tokens.end()) {
+  DESYN_ASSERT(g.to.size() == from_.size() &&
+               g.tokens.size() == from_.size());
+  comps_ = structure_.build_structure(row_view({}));
+
+  // Predecessor index over the intra-SCC candidate arcs (certificate
+  // worklist: raising d[v] can only violate arcs *into* v).
+  const uint32_t n = num_nodes_;
+  const McrScratch& s = structure_;
+  pred_off_.assign(n + 1, 0);
+  for (uint32_t v = 0; v < n; ++v) {
+    for (uint32_t k = s.csr_off_[v]; k < s.csr_off_[v + 1]; ++k) {
+      ++pred_off_[to_[s.csr_arc_[k]] + 1];
+    }
+  }
+  for (uint32_t v = 0; v < n; ++v) pred_off_[v + 1] += pred_off_[v];
+  pred_arc_.resize(pred_off_[n]);
+  {
+    std::vector<uint32_t> fill(pred_off_.begin(), pred_off_.end() - 1);
+    for (uint32_t v = 0; v < n; ++v) {
+      for (uint32_t k = s.csr_off_[v]; k < s.csr_off_[v + 1]; ++k) {
+        uint32_t a = s.csr_arc_[k];
+        pred_arc_[fill[to_[a]]++] = a;
+      }
+    }
+  }
+
+  // Structural cycle dictionary: every self-loop and every mutual arc
+  // pair. On handshake control graphs these local loops are the entire
+  // population the per-sample critical cycle is drawn from (longer
+  // critical cycles are learned per block via the Howard fallback).
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t k = s.csr_off_[u]; k < s.csr_off_[u + 1]; ++k) {
+      uint32_t a = s.csr_arc_[k];
+      uint32_t v = to_[a];
+      if (v == u) {
+        if (tokens_[a] > 0) seed_cycles_.push_back({ArcId(a)});
+      } else if (v > u) {
+        for (uint32_t j = s.csr_off_[v]; j < s.csr_off_[v + 1]; ++j) {
+          uint32_t b = s.csr_arc_[j];
+          if (to_[b] == u && tokens_[a] + tokens_[b] > 0) {
+            seed_cycles_.push_back({ArcId(a), ArcId(b)});
+          }
+        }
+      }
+    }
+  }
+}
+
+CycleRatioResult McrBatch::solve_one_cold(
+    std::span<const Ps> delay_row) const {
+  DESYN_ASSERT(delay_row.size() == num_arcs());
+  McrContext ctx;
+  return ctx.solve(row_view(delay_row));
+}
+
+std::vector<CycleRatioResult> McrBatch::solve_all(std::span<const Ps> delays,
+                                                  size_t samples,
+                                                  int jobs) const {
+  const size_t m = num_arcs();
+  DESYN_ASSERT(delays.size() == samples * m,
+               "delay matrix must be samples x num_arcs, row-major");
+  std::vector<CycleRatioResult> out(samples);
+  if (samples == 0) return out;
+
+  const size_t blocks = (samples + kBlock - 1) / kBlock;
+  // Per-block Monte-Carlo state for the certificate fast path. Adjacent
+  // samples perturb the same nominal delays, so the critical cycle is drawn
+  // from a tiny per-block dictionary (every cycle a full solve of this
+  // block ever returned), and a converged solve's potentials remain a
+  // near-valid optimality certificate for the next sample's delays.
+  //
+  // A sample is solved *without* Howard when (a) the best dictionary cycle
+  // under its delays — an exact integer D/T comparison — yields lambda, and
+  // (b) relaxing the inherited potentials settles every intra-SCC candidate
+  // arc into d[v] >= d[w] + delay(a) - lambda * tokens(a) - eps, the exact
+  // inequality Howard's own convergence establishes. Summing it around any
+  // cycle bounds every cycle ratio by lambda + len * eps / T; with integer
+  // picosecond delays and small token sums, distinct cycle ratios are
+  // separated by far more than that slack, so the certificate pins the same
+  // ratio a cold solve returns, bit for bit (property-tested). A sample
+  // whose relaxation does not settle — a new critical cycle makes it
+  // diverge — falls back to a full warm Howard solve, which then grows the
+  // dictionary and refreshes the potentials.
+  struct BlockState {
+    std::vector<std::vector<ArcId>> learned;  // cycles beyond the seeds
+    std::vector<double> dcert;                // certificate potentials
+    std::vector<uint32_t> queue;              // relaxation worklist (FIFO)
+    std::vector<uint8_t> in_queue;
+    bool have_cert = false;
+  };
+  auto remember = [&](BlockState& bs, const CycleRatioResult& r) {
+    if (r.cycle_arcs.empty()) return;
+    for (const auto& c : seed_cycles_) {
+      if (c == r.cycle_arcs) return;
+    }
+    for (const auto& c : bs.learned) {
+      if (c == r.cycle_arcs) return;
+    }
+    bs.learned.push_back(r.cycle_arcs);
+  };
+  // Exact argmax over the dictionary under this row's delays: compare
+  // D1/T1 vs D2/T2 by integer cross-multiplication (delays are integer Ps,
+  // token sums are tiny — no overflow at any realistic model size).
+  auto best_cycle = [&](const BlockState& bs, const McrArcs& g) {
+    const std::vector<ArcId>* best = nullptr;
+    int64_t bd = -1, bt = 1;
+    auto consider = [&](const std::vector<ArcId>& cyc) {
+      int64_t d = 0, t = 0;
+      for (ArcId a : cyc) {
+        d += static_cast<int64_t>(g.delay[a.value()]);
+        t += static_cast<int64_t>(g.tokens[a.value()]);
+      }
+      if (d * bt > bd * t) {
+        best = &cyc;
+        bd = d;
+        bt = t;
+      }
+    };
+    for (const auto& c : seed_cycles_) consider(c);
+    for (const auto& c : bs.learned) consider(c);
+    return best;
+  };
+  // Worklist relaxation: raise d until every intra-SCC candidate arc
+  // satisfies the certificate inequality, or give up once the pop budget
+  // signals divergence (a cycle with ratio above lambda raises d around
+  // itself forever). Deterministic: sequential FIFO seeded in node order.
+  auto certify = [&](const McrScratch& s, BlockState& bs, const McrArcs& g,
+                     double lambda) {
+    const uint32_t n = num_nodes_;
+    auto& d = bs.dcert;
+    auto& q = bs.queue;
+    q.clear();
+    bs.in_queue.assign(n, 0);
+    for (uint32_t i = n; i-- > 0;) {
+      const uint32_t v = i;
+      if (s.csr_off_[v] < s.csr_off_[v + 1]) {
+        q.push_back(v);
+        bs.in_queue[v] = 1;
+      }
+    }
+    const size_t budget = kCertPopFactor * static_cast<size_t>(n) + 64;
+    size_t head = 0;
+    while (head < q.size()) {
+      if (head > budget) return false;
+      const uint32_t v = q[head++];
+      bs.in_queue[v] = 0;
+      double dv = d[v];
+      bool raised = false;
+      for (uint32_t k = s.csr_off_[v]; k < s.csr_off_[v + 1]; ++k) {
+        const uint32_t a = s.csr_arc_[k];
+        const double val = d[g.to[a]] + static_cast<double>(g.delay[a]) -
+                           lambda * static_cast<double>(g.tokens[a]);
+        if (val > dv + kEpsPotential) {
+          dv = val;
+          raised = true;
+        }
+      }
+      if (raised) {
+        d[v] = dv;
+        for (uint32_t k = pred_off_[v]; k < pred_off_[v + 1]; ++k) {
+          const uint32_t x = from_[pred_arc_[k]];
+          if (!bs.in_queue[x]) {
+            bs.in_queue[x] = 1;
+            q.push_back(x);
+          }
+        }
+      }
+    }
+    return true;
+  };
+  auto run_block = [&](McrScratch& s, size_t b) {
+    const size_t lo = b * kBlock;
+    const size_t hi = std::min(samples, lo + kBlock);
+    BlockState bs;
+    bool cold = true;  // block starts are cold: blocks stay independent
+    for (size_t i = lo; i < hi; ++i) {
+      McrArcs g = row_view(delays.subspan(i * m, m));
+      if (!cold && bs.have_cert) {
+        const std::vector<ArcId>* cyc = best_cycle(bs, g);
+        if (cyc) {
+          const double lambda = cycle_ratio(g, *cyc);
+          if (certify(s, bs, g, lambda)) {
+            out[i].ratio = lambda;
+            set_cycle(g, *cyc, &out[i]);
+            continue;
+          }
+        }
+      }
+      if (cold) s.init_policy_cold(g);
+      cold = false;
+      out[i] = s.howard(g, comps_);
+      if (!s.howard_converged_) {
+        // howard() already handed the row to the reference solver; the
+        // cycling policy converged nowhere worth inheriting, so restart
+        // the warm chain (and the certificate state) at the next sample.
+        cold = true;
+        bs.have_cert = false;
+      } else {
+        remember(bs, out[i]);
+        // The converged potentials certify this solve's per-component
+        // ratios; with the global lambda only larger on token-bearing
+        // arcs, they remain a valid starting certificate.
+        bs.dcert = s.d_;
+        bs.have_cert = true;
+      }
+    }
+  };
+
+  const int workers = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(std::max(jobs, 1)), blocks));
+  if (workers <= 1) {
+    McrScratch s = structure_;
+    for (size_t b = 0; b < blocks; ++b) run_block(s, b);
+    return out;
+  }
+  // Workers claim whole blocks; every block's solves depend only on data
+  // inside the block and results land at fixed sample indices, so the
+  // output is byte-identical at any worker count.
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      McrScratch s = structure_;  // shared structure, private solve state
+      for (size_t b = next.fetch_add(1); b < blocks;
+           b = next.fetch_add(1)) {
+        run_block(s, b);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  return out;
 }
 
 // ---------------------------------------------------------------------------

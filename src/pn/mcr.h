@@ -90,12 +90,30 @@ double cycle_ratio(const McrArcs& g, std::span<const ArcId> arcs);
 
 /// Reusable per-solve working memory. One per thread: a McrContext::probe
 /// is const and thread-safe provided every thread brings its own scratch.
+///
+/// The solve decomposes into two phases with different data dependence:
+/// build_structure() (out-arc CSR, Tarjan SCCs, intra-SCC policy-candidate
+/// CSR, members by component) reads only the arc *structure* — never a
+/// delay — while init_policy_cold()/howard() read the delays. McrBatch
+/// exploits the split: one structure build amortized over every
+/// Monte-Carlo sample.
 class McrScratch {
  public:
   McrScratch() = default;
 
  private:
   friend class McrContext;
+  friend class McrBatch;
+
+  /// Phases of a solve (bodies in mcr.cpp). build_structure returns the
+  /// component count; howard requires the structure to describe `g` and
+  /// policy_ to hold an intra-SCC out-arc for every SCC node, and sets
+  /// howard_converged_ (false = epsilon-induced policy cycling, caller
+  /// falls back to the reference solver).
+  int build_structure(const McrArcs& g);
+  void init_policy_cold(const McrArcs& g);
+  CycleRatioResult howard(const McrArcs& g, int comps);
+
   // Tarjan + CSR adjacency + Howard state, sized on first use and reused.
   std::vector<uint32_t> csr_off_, csr_arc_;        // intra-SCC out-arcs
   std::vector<uint32_t> out_off_, out_arc_;        // all out-arcs (Tarjan)
@@ -175,6 +193,81 @@ class McrContext {
   uint32_t base_nodes_ = 0;
   McrScratch scratch_;
   size_t cold_solves_ = 0, warm_solves_ = 0;
+};
+
+/// Structure-shared batch Howard solver for Monte-Carlo throughput sweeps.
+///
+/// A variation sweep solves the *same* marked graph under hundreds of
+/// sampled delay assignments; only the delays change. McrBatch runs the
+/// delay-independent analysis once at construction — CSR builds, Tarjan
+/// SCCs, and a dictionary of every 1- and 2-arc cycle (on handshake control
+/// graphs the critical cycle is almost always one of these local loops) —
+/// and then solves most samples without running Howard at all:
+///
+///   1. Score the dictionary under the sample's delays (exact integer D/T
+///      comparison) and take the best ratio as the candidate lambda.
+///   2. Repair the previous sample's node potentials by worklist
+///      relaxation until every intra-SCC candidate arc satisfies
+///      d[v] >= d[w] + delay - lambda * tokens - eps — the very inequality
+///      Howard's convergence establishes. Summing it around any cycle
+///      bounds every cycle ratio by lambda (integer picosecond delays
+///      separate distinct cycle ratios by far more than the epsilon
+///      slack), so the certificate pins the exact answer.
+///
+/// A sample whose relaxation diverges has a critical cycle outside the
+/// dictionary; it falls back to a full warm-started Howard solve, which
+/// grows the block's dictionary and refreshes the potentials. Results are
+/// bit-equal to independent cold solves either way (property-tested).
+///
+/// Parallelism contract (same as PartitionOptOptions::jobs): samples are
+/// processed in fixed blocks of kBlock; a block's first sample solves from
+/// the cold policy and later samples reuse certificate state within the
+/// block only, so every block is independent of every other. Workers claim
+/// whole blocks and write results by sample index — byte-identical output
+/// at any `jobs` count, and identical to jobs = 1.
+class McrBatch {
+ public:
+  /// Samples per certificate block (also the parallel work granule). Each
+  /// block pays one full Howard solve up front; a larger block amortizes
+  /// that head further but leaves fewer independent granules for `jobs`.
+  static constexpr size_t kBlock = 64;
+
+  /// Copies the structure (from/to/tokens) and runs the delay-independent
+  /// analysis once; `g.delay` is ignored and may be empty.
+  explicit McrBatch(const McrArcs& g);
+
+  uint32_t num_nodes() const { return num_nodes_; }
+  size_t num_arcs() const { return from_.size(); }
+
+  /// Solve all `samples` rows of the row-major samples x num_arcs() delay
+  /// matrix. Every returned cycle is genuinely critical for its row
+  /// (cycle_ratio(row view, cycle_arcs) == ratio), bit-equal to
+  /// solve_one_cold on the same row (property-tested in test_pn.cpp).
+  std::vector<CycleRatioResult> solve_all(std::span<const Ps> delays,
+                                          size_t samples, int jobs = 1) const;
+
+  /// Independent per-sample oracle: a fresh cold McrContext solve of one
+  /// row, sharing nothing with the batch machinery (also the baseline the
+  /// bench_mc speedup is measured against).
+  CycleRatioResult solve_one_cold(std::span<const Ps> delay_row) const;
+
+ private:
+  McrArcs row_view(std::span<const Ps> row) const {
+    return {num_nodes_, from_, to_, tokens_, row};
+  }
+
+  uint32_t num_nodes_ = 0;
+  std::vector<uint32_t> from_, to_;
+  std::vector<int32_t> tokens_;
+  McrScratch structure_;  ///< built once; copied into each worker's scratch
+  int comps_ = 0;
+  /// Every 1- and 2-arc cycle of the graph, canonical arc order — the
+  /// structural seed of each block's critical-cycle dictionary.
+  std::vector<std::vector<ArcId>> seed_cycles_;
+  /// Intra-SCC candidate arcs indexed by *target* node: when a relaxation
+  /// raises d[v], exactly the arcs pred_arc_[pred_off_[v]..pred_off_[v+1])
+  /// can newly violate the certificate inequality.
+  std::vector<uint32_t> pred_off_, pred_arc_;
 };
 
 /// Earliest-firing schedule: fire time of the k-th firing (k = 0..rounds-1)

@@ -1,0 +1,27 @@
+#include "sta/variation.h"
+
+#include <cmath>
+
+#include "base/rng.h"
+
+namespace desyn::sta {
+
+Ps sample_path_delay(Ps nominal, Ps unit, const cell::VariationModel& model,
+                     uint64_t stream, size_t sample) {
+  if (nominal <= 0) return nominal;
+  const int64_t stages =
+      unit > 0 ? (nominal + unit - 1) / unit : 1;  // ceil(D / unit)
+  const double per_stage =
+      static_cast<double>(nominal) / static_cast<double>(stages);
+  double acc = 0.0;
+  for (int64_t i = 0; i < stages; ++i) {
+    // Whiten the stage index into the element stream so stage draws are
+    // independent of each other and of other paths.
+    uint64_t seg = splitmix64(stream + 0x9e3779b97f4a7c15ull *
+                                           static_cast<uint64_t>(i + 1));
+    acc += per_stage * model.factor(seg, sample);
+  }
+  return static_cast<Ps>(std::llround(acc));
+}
+
+}  // namespace desyn::sta

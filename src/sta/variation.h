@@ -1,0 +1,23 @@
+// Sampled path delays on top of cell::VariationModel.
+//
+// STA reports one worst-case number per combinational path; a Monte-Carlo
+// sweep needs a *realization* of that path per sample. A path of nominal
+// delay D through a library with delay quantum `unit` is modeled as
+// ceil(D / unit) equal gate stages with independent per-stage factors:
+// long paths then show the 1/sqrt(depth) relative-variance cancellation
+// real logic cones have, where a single path-level draw would overstate
+// their variation by exactly that factor.
+#pragma once
+
+#include "cell/variation.h"
+
+namespace desyn::sta {
+
+/// Sampled realization of a path with nominal worst-case delay `nominal`.
+/// `stream` identifies the path (sub-streams are derived per stage);
+/// deterministic in (model.seed, stream, sample). Nominal delays <= 0 pass
+/// through unchanged.
+Ps sample_path_delay(Ps nominal, Ps unit, const cell::VariationModel& model,
+                     uint64_t stream, size_t sample);
+
+}  // namespace desyn::sta

@@ -149,6 +149,55 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // ---------------------------------------------------------------------------
+// Cache-key sensitivity: the per-bank margin vector changes the hardware,
+// so it must key every stage from adjacency on — but never the partition
+// stage (bank ids do not exist before clustering; the partitioner always
+// scores at the global margin). Job counts never key anything.
+// ---------------------------------------------------------------------------
+
+TEST(EngineTest, CacheKeySensitivity) {
+  NetId clk;
+  Netlist ff = pipeline3(&clk);
+  Engine engine(Tech::generic90());
+  DesyncOptions opt;
+  FlowOutcome base = engine.run(ff, clk, opt);
+
+  // Uniformly larger per-bank margins: longer delay lines, new Verilog.
+  DesyncOptions widened = opt;
+  widened.margins.assign(base.stats.banks, 2.0);
+  FlowOutcome wide = engine.run(ff, clk, widened);
+  EXPECT_FALSE(wide.cached);
+  EXPECT_NE(*wide.verilog, *base.verilog);
+  {
+    StageCounters sc = engine.counters();
+    // The partition stage was *reused* (margins are not in its key)...
+    EXPECT_EQ(sc.partition_runs, 1u);
+    EXPECT_EQ(sc.partition_hits, 1u);
+    // ... while adjacency onward re-ran under the new margin key.
+    EXPECT_EQ(sc.adjacency_runs, 2u);
+    EXPECT_EQ(sc.synth_runs, 2u);
+  }
+
+  // The job knobs are excluded from every key: changing all of them on
+  // the widened coordinates is a pure result-cache hit.
+  DesyncOptions jobs = widened;
+  jobs.opt_jobs = 4;
+  jobs.sim_jobs = 8;
+  FlowOutcome hit = engine.run(ff, clk, jobs);
+  EXPECT_TRUE(hit.cached);
+  EXPECT_EQ(*hit.verilog, *wide.verilog);
+
+  // An all-zero vector means "global margin everywhere" — the same
+  // hardware as the empty vector, but a distinct cache coordinate (the
+  // key hashes the vector structurally): a re-run, byte-identical output.
+  DesyncOptions zeros = opt;
+  zeros.margins.assign(base.stats.banks, 0.0);
+  FlowOutcome z = engine.run(ff, clk, zeros);
+  EXPECT_FALSE(z.cached);
+  EXPECT_EQ(*z.verilog, *base.verilog);
+}
+
+// ---------------------------------------------------------------------------
 // ECO fast paths
 // ---------------------------------------------------------------------------
 

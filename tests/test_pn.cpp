@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+
+#include "base/rng.h"
 
 #include "cell/tech.h"
 #include "circuits/circuits.h"
@@ -463,6 +466,83 @@ TEST(McrContext, StructuralInvalidationFallsBackToColdSolve) {
   CycleRatioResult r = ctx.resolve(flat.view(), bogus);
   EXPECT_EQ(ctx.cold_solves(), cold_before + 1);
   EXPECT_EQ(r.ratio, max_cycle_ratio(mg).ratio);
+}
+
+// ---------------------------------------------------------------------------
+// McrBatch: structure-shared Monte-Carlo solves are bit-equal to per-sample
+// cold solves, every cycle is genuine, and results are byte-identical at
+// any worker count.
+// ---------------------------------------------------------------------------
+
+/// Sampled delay rows: counter-based jitter (+/-20%) around the nominal
+/// arc delays, a pure function of (seed, sample, arc) like the real
+/// variation model's draws.
+std::vector<Ps> sampled_rows(const McrFlat& flat, uint64_t seed,
+                             size_t samples) {
+  const size_t m = flat.delay.size();
+  std::vector<Ps> rows(samples * m);
+  for (size_t s = 0; s < samples; ++s) {
+    for (size_t j = 0; j < m; ++j) {
+      const double f = 0.8 + 0.4 * rng_unit(seed, j, s);
+      rows[s * m + j] = static_cast<Ps>(
+          std::llround(static_cast<double>(flat.delay[j]) * f));
+    }
+  }
+  return rows;
+}
+
+class BatchVsCold : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatchVsCold, WarmBlocksBitEqualColdOracle) {
+  const uint64_t seed = GetParam();
+  MarkedGraph mg = random_timed_mg(seed);
+  ASSERT_TRUE(is_live(mg));
+  const McrFlat flat = flatten(mg);
+  const McrBatch batch(flat.view());
+  const size_t m = batch.num_arcs();
+  // Sample counts straddling the warm-start block size (kBlock = 32):
+  // single sample, partial block, many full blocks.
+  for (size_t samples : {size_t{1}, size_t{17}, size_t{256}}) {
+    const std::vector<Ps> rows = sampled_rows(flat, seed, samples);
+    const auto res = batch.solve_all(rows, samples, 1);
+    ASSERT_EQ(res.size(), samples);
+    for (size_t s = 0; s < samples; ++s) {
+      const std::span<const Ps> row(rows.data() + s * m, m);
+      const CycleRatioResult cold = batch.solve_one_cold(row);
+      EXPECT_EQ(res[s].ratio, cold.ratio)  // bit-equal, not just close
+          << mg.name() << " sample " << s << "/" << samples;
+      // The cycle is genuine for *this row's* delays: its exact D/T
+      // quotient is the returned ratio.
+      const McrArcs g{flat.num_nodes, flat.from, flat.to, flat.tokens, row};
+      ASSERT_FALSE(res[s].cycle_arcs.empty());
+      EXPECT_EQ(cycle_ratio(g, res[s].cycle_arcs), res[s].ratio)
+          << mg.name() << " sample " << s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchVsCold,
+                         ::testing::Range<uint64_t>(0, 20));
+
+TEST(McrBatch, ByteIdenticalAcrossJobs) {
+  for (uint64_t seed : {uint64_t{3}, uint64_t{12}}) {
+    MarkedGraph mg = random_timed_mg(seed);
+    ASSERT_TRUE(is_live(mg));
+    const McrFlat flat = flatten(mg);
+    const McrBatch batch(flat.view());
+    const size_t samples = 100;  // straddles several kBlock granules
+    const std::vector<Ps> rows = sampled_rows(flat, seed, samples);
+    const auto serial = batch.solve_all(rows, samples, 1);
+    for (int jobs : {2, 4}) {
+      const auto par = batch.solve_all(rows, samples, jobs);
+      ASSERT_EQ(par.size(), serial.size()) << "jobs " << jobs;
+      for (size_t s = 0; s < samples; ++s) {
+        EXPECT_EQ(par[s].ratio, serial[s].ratio) << "jobs " << jobs;
+        EXPECT_EQ(par[s].cycle, serial[s].cycle) << "jobs " << jobs;
+        EXPECT_EQ(par[s].cycle_arcs, serial[s].cycle_arcs) << "jobs " << jobs;
+      }
+    }
+  }
 }
 
 TEST(McrContext, ProbeLeavesBaselineUntouched) {
