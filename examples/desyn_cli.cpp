@@ -79,17 +79,36 @@
 // see src/svc/server.h):
 //
 //   desyn_cli serve --socket <path> [--threads N] [--capacity N]
-//                   [--cache-dir <dir>]
+//                   [--cache-dir <dir>] [--max-inflight N]
+//                   [--io-timeout-ms N] [--max-request-bytes N]
+//                   [--fault-spec <spec>]
 //   desyn_cli submit <input.v> <clock-net> --socket <path> [margin]
 //                    [strategy] [--protocol <p>] [--sim-jobs N]
-//                    [--save <result.json>]
+//                    [--save <result.json>] [--retries N] [--timeout-ms N]
 //
 // `serve` runs until SIGINT/SIGTERM, sharing one flow engine across all
 // clients: a re-submitted design is answered from the result cache
-// byte-identically. `submit` sends one design and prints the summary;
-// --save writes the response's raw "result" object, which is
+// byte-identically. The first signal drains gracefully (in-flight
+// requests finish); a second signal cancels them (typed `cancelled`
+// responses). --max-inflight bounds admitted-but-unserved connections
+// (the excess get a typed `busy` response), --io-timeout-ms/
+// --max-request-bytes bound what any one peer can pin, and --fault-spec
+// arms a deterministic fault site (base/fault.h, docs/ROBUSTNESS.md) for
+// robustness smoke tests. `submit` sends one design and prints the
+// summary; --save writes the response's raw "result" object, which is
 // byte-identical across cached and cold submissions (the CI smoke job
-// cmp's two of them).
+// cmp's two of them). --timeout-ms arms a per-request server deadline;
+// --retries N re-submits on transient failures (connection loss, `busy`,
+// `internal`) with exponential backoff + jitter — always safe, because
+// submissions are content-addressed.
+//
+// Cache mode — offline inspection of a flow engine's disk tier:
+//
+//   desyn_cli cache stats|verify|scrub <dir>
+//
+// `stats` inventories the directory, `verify` additionally checks every
+// entry's integrity digest (exit 1 when any is corrupt), `scrub` removes
+// corrupt entries and orphan tmp files from dead writers.
 //
 // Lint mode — the static verifier (src/check, docs/LINT.md) over the
 // desynchronized result: structural netlist checks, marked-graph
@@ -110,6 +129,7 @@
 #include <vector>
 
 #include "base/cli_args.h"
+#include "base/fault.h"
 #include "base/json.h"
 #include "check/check.h"
 #include "circuits/circuits.h"
@@ -525,10 +545,11 @@ int run_sweep(int argc, char** argv) {
 }
 
 volatile std::sig_atomic_t g_stop = 0;
-void stop_handler(int) { g_stop = 1; }
+void stop_handler(int) { g_stop = g_stop < 2 ? g_stop + 1 : 2; }
 
 int run_serve(int argc, char** argv) {
   svc::ServerOptions opt;
+  std::string fault_spec;
   for (int i = 2; i < argc; ++i) {
     std::string a = argv[i];
     if (a == "--socket") {
@@ -541,11 +562,30 @@ int run_serve(int argc, char** argv) {
           cli::need_value(argc, argv, i, "--capacity"), "--capacity value"));
     } else if (a == "--cache-dir") {
       opt.cache_dir = cli::need_value(argc, argv, i, "--cache-dir");
+    } else if (a == "--max-inflight") {
+      opt.max_pending =
+          cli::parse_count(cli::need_value(argc, argv, i, "--max-inflight"),
+                           "--max-inflight value");
+    } else if (a == "--io-timeout-ms") {
+      opt.io_timeout_ms = cli::parse_nonneg(
+          cli::need_value(argc, argv, i, "--io-timeout-ms"),
+          "--io-timeout-ms value");
+    } else if (a == "--max-request-bytes") {
+      opt.max_request_bytes = static_cast<size_t>(cli::parse_count(
+          cli::need_value(argc, argv, i, "--max-request-bytes"),
+          "--max-request-bytes value"));
+    } else if (a == "--fault-spec") {
+      fault_spec = cli::need_value(argc, argv, i, "--fault-spec");
     } else {
       fail("unknown serve option '", a, "'");
     }
   }
   if (opt.socket_path.empty()) fail("serve needs --socket <path>");
+  if (!fault_spec.empty()) {
+    fault::arm(fault::Spec::parse(fault_spec));
+    std::printf("fault spec armed: %s\n",
+                fault::Spec::parse(fault_spec).to_string().c_str());
+  }
 
   svc::Server server(cell::Tech::generic90(), opt);
   server.start();
@@ -560,7 +600,24 @@ int run_serve(int argc, char** argv) {
   while (!g_stop) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
+  // Graceful drain: stop() lets in-flight requests answer. A second
+  // signal during the drain escalates — cancel the in-flight requests so
+  // they answer `cancelled` now and the drain stays bounded.
+  std::printf("draining (signal again to cancel in-flight requests)\n");
+  std::fflush(stdout);
+  std::atomic<bool> drained{false};
+  std::thread escalator([&server, &drained] {
+    while (!drained.load(std::memory_order_acquire)) {
+      if (g_stop >= 2) {
+        server.cancel_inflight();
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
   server.stop();
+  drained.store(true, std::memory_order_release);
+  escalator.join();
 
   flow::StageCounters c = server.engine().counters();
   std::printf("served %zu submissions (%zu from the result cache)\n", c.runs,
@@ -571,7 +628,7 @@ int run_serve(int argc, char** argv) {
 int run_submit(int argc, char** argv) {
   std::vector<std::string> pos;
   std::string socket_path, save_path, protocol = "pulse";
-  int sim_jobs = 1;
+  int sim_jobs = 1, retries = 0, timeout_ms = 0;
   for (int i = 2; i < argc; ++i) {
     std::string a = argv[i];
     if (a == "--socket") {
@@ -583,6 +640,13 @@ int run_submit(int argc, char** argv) {
     } else if (a == "--sim-jobs") {
       sim_jobs = cli::parse_count(cli::need_value(argc, argv, i, "--sim-jobs"),
                                   "--sim-jobs value");
+    } else if (a == "--retries") {
+      retries = cli::parse_nonneg(
+          cli::need_value(argc, argv, i, "--retries"), "--retries value");
+    } else if (a == "--timeout-ms") {
+      timeout_ms = cli::parse_nonneg(
+          cli::need_value(argc, argv, i, "--timeout-ms"),
+          "--timeout-ms value");
     } else {
       pos.push_back(a);
     }
@@ -598,9 +662,16 @@ int run_submit(int argc, char** argv) {
   std::stringstream ss;
   ss << in.rdbuf();
 
-  svc::Client client(socket_path);
-  std::string response = client.roundtrip(svc::make_request(
-      ss.str(), pos[1], strategy, margin, protocol, sim_jobs));
+  svc::RetryOptions retry;
+  retry.retries = retries;
+  // The socket deadline covers the server-side budget plus slack for the
+  // round trip; no request deadline means no client-side one either.
+  retry.io_timeout_ms = timeout_ms > 0 ? timeout_ms + 10000 : 0;
+  std::string response = svc::submit_with_retry(
+      socket_path,
+      svc::make_request(ss.str(), pos[1], strategy, margin, protocol,
+                        sim_jobs, timeout_ms),
+      retry);
   std::string result = svc::extract_result(response);  // throws on error
 
   json::Value v = json::parse(response);
@@ -878,6 +949,50 @@ int run_optimize_margins(int argc, char** argv) {
              : 1;
 }
 
+/// `desyn_cli cache stats|verify|scrub <dir>` — offline inspection and
+/// repair of a flow engine's disk tier (flow/artifact.h free functions).
+int run_cache(int argc, char** argv) {
+  std::vector<std::string> pos;
+  for (int i = 2; i < argc; ++i) pos.emplace_back(argv[i]);
+  if (pos.size() != 2 ||
+      (pos[0] != "stats" && pos[0] != "verify" && pos[0] != "scrub")) {
+    fail("usage: desyn_cli cache stats|verify|scrub <dir>");
+  }
+  const std::string& mode = pos[0];
+  const std::string& dir = pos[1];
+
+  if (mode == "scrub") {
+    flow::ScrubResult r = flow::scrub_cache_dir(dir);
+    flow::CacheScan after = flow::scan_cache_dir(dir, /*verify=*/false);
+    std::printf("scrubbed %s: removed %zu corrupt entr%s, %zu orphan tmp "
+                "file%s; %zu entr%s remain\n",
+                dir.c_str(), r.corrupt_removed,
+                r.corrupt_removed == 1 ? "y" : "ies", r.tmp_removed,
+                r.tmp_removed == 1 ? "" : "s", after.entries,
+                after.entries == 1 ? "y" : "ies");
+    return 0;
+  }
+
+  const bool verify = mode == "verify";
+  flow::CacheScan scan = flow::scan_cache_dir(dir, verify);
+  std::printf("cache dir : %s\n", dir.c_str());
+  std::printf("entries   : %zu (%llu bytes)\n", scan.entries,
+              static_cast<unsigned long long>(scan.bytes));
+  for (const auto& [kind, count] : scan.kinds) {
+    std::printf("  %-9s : %zu\n", kind.c_str(), count);
+  }
+  std::printf("tmp files : %zu (%zu orphaned)\n", scan.tmp_total,
+              scan.tmp_orphans);
+  if (verify) {
+    std::printf("corrupt   : %zu\n", scan.corrupt);
+    for (const std::string& p : scan.corrupt_paths) {
+      std::printf("  %s\n", p.c_str());
+    }
+    if (scan.corrupt > 0) return 1;  // `verify` is a CI gate
+  }
+  return 0;
+}
+
 int run_single(int argc, char** argv) {
   // Positional arguments with optional flags anywhere after them.
   std::vector<std::string> pos;
@@ -919,10 +1034,15 @@ int run_single(int argc, char** argv) {
                  "       desyn_cli optimize-margins --circuit <suite-name> "
                  "[margin] [strategy] [...]\n"
                  "       desyn_cli serve --socket <path> [--threads N] "
-                 "[--capacity N] [--cache-dir <dir>]\n"
+                 "[--capacity N] [--cache-dir <dir>] [--max-inflight N]\n"
+                 "                 [--io-timeout-ms N] "
+                 "[--max-request-bytes N] [--fault-spec <spec>]\n"
                  "       desyn_cli submit <input.v> <clock-net> --socket "
                  "<path> [margin] [strategy] [--protocol <p>] "
-                 "[--sim-jobs N] [--save <result.json>]\n"
+                 "[--sim-jobs N]\n"
+                 "                 [--save <result.json>] [--retries N] "
+                 "[--timeout-ms N]\n"
+                 "       desyn_cli cache stats|verify|scrub <dir>\n"
                  "       desyn_cli lint <input.v> <clock-net> [margin] "
                  "[strategy] [--protocol <p>|all] [--json <path>]\n"
                  "       desyn_cli lint --suite [--full-suite] [margin] "
@@ -1003,6 +1123,9 @@ int main(int argc, char** argv) {
     }
     if (argc > 1 && std::string(argv[1]) == "submit") {
       return run_submit(argc, argv);
+    }
+    if (argc > 1 && std::string(argv[1]) == "cache") {
+      return run_cache(argc, argv);
     }
     if (argc > 1 && std::string(argv[1]) == "lint") {
       return run_lint(argc, argv);

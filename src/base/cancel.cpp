@@ -1,0 +1,7 @@
+#include "base/cancel.h"
+
+namespace desyn::detail {
+
+thread_local const CancelToken* t_cancel = nullptr;
+
+}  // namespace desyn::detail

@@ -1,0 +1,107 @@
+// Deterministic fault injection.
+//
+// A fault *site* is a compiled-in probe (`fault::maybe_throw("engine.stage.synth")`,
+// `fault::should_fail("svc.read")`) at a place where the real world can fail:
+// a disk write, a socket read, a stage boundary. Sites are inert until a
+// single process-wide *spec* is armed; the disarmed fast path is one relaxed
+// atomic load and a predictable branch, so probes may sit on hot paths.
+//
+// Firing is a pure function of (spec, site, hit-index): the k-th arrival at a
+// site either fires or does not, independent of threads, wall clock, or any
+// other site. Armed with the same spec, a run fails at exactly the same
+// operation every time — which is what makes a fault report reproducible
+// from nothing but the `--fault-spec` string.
+//
+// Spec grammar (comma-separated `key=value`, parsed by `Spec::parse`):
+//
+//   site=<name>      required; a catalog name, or a prefix ending in '*'
+//   hit=<N>          first firing hit-index (default 0)
+//   count=<K>        fire on hits [hit, hit+count); 0 = every hit from `hit`
+//   p=<X>,seed=<S>   probabilistic mode: fire iff hash(seed, site, k) < X,
+//                    ignoring hit/count. X in [0, 1].
+//   action=fail|kill fail (default): the probe reports/throws.
+//                    kill: raise SIGKILL at the firing probe — a real
+//                    crash for crash-recovery tests, no unwinding.
+//
+// Sites must come from the compiled-in catalog (`all_sites()`); arming an
+// unknown site is an error, so specs cannot silently probe nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/common.h"
+
+namespace desyn::fault {
+
+// Thrown by `maybe_throw` at a firing site with action=fail.
+class InjectedFault : public Error {
+ public:
+  explicit InjectedFault(std::string_view site)
+      : Error(cat("injected fault at site '", site, "'")), site_(site) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+struct Spec {
+  std::string site;      // catalog name, or prefix ending in '*'
+  uint64_t hit = 0;      // first firing hit-index
+  uint64_t count = 1;    // number of consecutive firing hits; 0 = unlimited
+  double p = -1.0;       // in [0,1]: probabilistic mode (hit/count ignored)
+  uint64_t seed = 0;     // probabilistic-mode hash seed
+  enum class Action { Fail, Kill };
+  Action action = Action::Fail;
+
+  // Parses the `key=value,...` grammar above. Throws Error on unknown keys,
+  // malformed values, or a missing site.
+  static Spec parse(std::string_view text);
+  // Round-trips through parse(): to_string() omits defaulted keys.
+  std::string to_string() const;
+
+  // True iff this spec matches `site_name` (exact, or armed prefix).
+  bool matches(std::string_view site_name) const;
+  // Pure firing decision for the k-th arrival at `site_name`.
+  bool fires(std::string_view site_name, uint64_t k) const;
+};
+
+// Arms `spec` process-wide, resetting all hit counters. Throws Error if the
+// spec's site (or prefix) matches nothing in the catalog.
+void arm(const Spec& spec);
+// Returns all probes to the inert fast path and resets counters.
+void disarm();
+bool armed();
+
+// Per-site observation counters, valid while armed (reset by arm/disarm).
+struct SiteStats {
+  uint64_t hits = 0;   // arrivals at the site since arm()
+  uint64_t fired = 0;  // arrivals that fired
+};
+SiteStats stats(std::string_view site_name);
+
+// The compiled-in site catalog, sorted, for `arm` validation, test sweeps,
+// and docs.
+const std::vector<std::string>& all_sites();
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+bool should_fail_slow(const char* site);
+}  // namespace detail
+
+// Probe: true iff an armed spec fires on this arrival. Disarmed cost is one
+// relaxed load + branch. With action=kill, a firing probe does not return.
+inline bool should_fail(const char* site) {
+  if (!detail::g_armed.load(std::memory_order_relaxed)) return false;
+  return detail::should_fail_slow(site);
+}
+
+// Probe that throws InjectedFault when it fires.
+inline void maybe_throw(const char* site) {
+  if (should_fail(site)) throw InjectedFault(site);
+}
+
+}  // namespace desyn::fault

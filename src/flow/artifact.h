@@ -13,9 +13,14 @@
 // Disk entries are *untrusted*: a torn write, truncation, or manual edit
 // is detected by the integrity digest (or by the deserializer rejecting
 // the body), and the entry is discarded and recomputed, never served.
-// Writes are atomic (temp file + rename), so a crashed writer leaves no
-// corrupt visible entry, and two processes racing on the same directory
-// at worst both write the same bytes.
+// Writes are atomic and durable (temp file + fsync + rename), so a
+// crashed writer leaves no corrupt visible entry — at worst an orphan
+// `.tmp.<pid>.<seq>` file, which open() reaps once the writer pid is
+// dead — and two processes racing on the same directory at worst both
+// write the same bytes. Opening a store scrubs the directory by default:
+// corrupt entries are counted and discarded up front rather than on
+// first touch (docs/ROBUSTNESS.md has the full crash-consistency
+// contract).
 //
 // Thread safety: all public methods are safe to call concurrently. A
 // cache miss on two threads may compute the same artifact twice; both
@@ -26,10 +31,12 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "base/sha256.h"
 
@@ -50,8 +57,9 @@ class ArtifactStore {
   using Deserializer = std::function<Ptr(const std::string& body)>;
 
   struct Options {
-    size_t capacity = 96;  ///< in-memory entries before LRU eviction
-    std::string dir;       ///< on-disk tier; empty = memory only
+    size_t capacity = 96;       ///< in-memory entries before LRU eviction
+    std::string dir;            ///< on-disk tier; empty = memory only
+    bool scrub_on_open = true;  ///< verify + discard corrupt entries on open
   };
 
   struct Stats {
@@ -60,6 +68,8 @@ class ArtifactStore {
     size_t misses = 0;        ///< neither tier had a usable entry
     size_t evictions = 0;     ///< LRU entries dropped
     size_t disk_corrupt = 0;  ///< disk entries rejected and discarded
+                              ///< (on get() or by scrub-on-open)
+    size_t tmp_reaped = 0;    ///< orphan tmp files from dead writers removed
   };
 
   ArtifactStore() : ArtifactStore(Options()) {}
@@ -111,5 +121,29 @@ std::string with_integrity_header(std::string_view kind,
 /// the digest does not match the body.
 bool read_artifact_file(const std::string& path, std::string_view kind,
                         std::string* body);
+
+/// Offline inventory of a cache directory (desyn_cli `cache stats|verify`).
+struct CacheScan {
+  size_t entries = 0;    ///< *.art files seen
+  uint64_t bytes = 0;    ///< their total size
+  std::map<std::string, size_t> kinds;  ///< entry count per artifact kind
+  size_t tmp_total = 0;    ///< in-flight/orphan tmp files seen
+  size_t tmp_orphans = 0;  ///< tmp files whose writer pid is dead
+  size_t corrupt = 0;      ///< entries failing verification (verify=true)
+  std::vector<std::string> corrupt_paths;
+  std::vector<std::string> tmp_orphan_paths;
+};
+
+/// Scans `dir`. With verify=true every entry's integrity header is checked
+/// (reads every file). Results are sorted by path for stable output.
+CacheScan scan_cache_dir(const std::string& dir, bool verify);
+
+/// Removes corrupt entries and orphan tmp files from `dir`. Tmp files from
+/// still-live writers are left alone.
+struct ScrubResult {
+  size_t corrupt_removed = 0;
+  size_t tmp_removed = 0;
+};
+ScrubResult scrub_cache_dir(const std::string& dir);
 
 }  // namespace desyn::flow

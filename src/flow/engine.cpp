@@ -9,6 +9,8 @@
 #include <set>
 #include <sstream>
 
+#include "base/cancel.h"
+#include "base/fault.h"
 #include "check/check.h"
 #include "core/adjacency.h"
 #include "ctl/controller.h"
@@ -487,6 +489,11 @@ Engine::Stages Engine::run_stages(const nl::Netlist& ff, nl::NetId clock,
       std::lock_guard<std::mutex> lock(mu_);
       ++counters_.partition_hits;
     } else {
+      // Stage-boundary probes sit in the compute branch only: a cache hit
+      // involves none of the machinery the probe models. Likewise the
+      // cancel points — hits are too cheap to be worth aborting.
+      fault::maybe_throw("engine.stage.partition");
+      cancel_point();
       Partition p;
       if (is_auto) {
         PartitionOptOptions po;
@@ -528,6 +535,8 @@ Engine::Stages Engine::run_stages(const nl::Netlist& ff, nl::NetId clock,
     ++counters_.latchify_hits;
     latch = std::static_pointer_cast<const LatchArtifact>(a);
   } else {
+    fault::maybe_throw("engine.stage.latchify");
+    cancel_point();
     nl::Netlist copy = ff;
     LatchifyResult lr = latchify(copy, clock, part->partition);
     {
@@ -595,6 +604,8 @@ Engine::Stages Engine::run_stages(const nl::Netlist& ff, nl::NetId clock,
       ++counters_.adjacency_hits;
       adj = std::static_pointer_cast<const AdjArtifact>(a);
     } else {
+      fault::maybe_throw("engine.stage.adjacency");
+      cancel_point();
       AdjacencyResult ar;
       if (prev.latch && prev.adj && diff_vs_prev().structural_same) {
         size_t retimed = 0;
@@ -636,6 +647,8 @@ Engine::Stages Engine::run_stages(const nl::Netlist& ff, nl::NetId clock,
     ++counters_.synth_hits;
     synth = std::static_pointer_cast<const SynthArtifact>(a);
   } else {
+    fault::maybe_throw("engine.stage.synth");
+    cancel_point();
     // Patch path: the edit left the synthesized control structure alone —
     // either no matched delay moved (cg hash unchanged) or every moved
     // delay stayed inside its quantization bucket — so controller
@@ -735,6 +748,8 @@ std::shared_ptr<const Engine::McrArtifact> Engine::mcr_stage(
     ++counters_.mcr_hits;
     return std::static_pointer_cast<const McrArtifact>(a);
   }
+  fault::maybe_throw("engine.stage.mcr");
+  cancel_point();
   Lineage prev = lineage_snapshot(lineage_key);
   auto m = std::make_shared<McrArtifact>();
   // The same pulse width every synthesis backend sizes: predictions match
@@ -897,6 +912,10 @@ FlowOutcome Engine::run(const nl::Netlist& ff, nl::NetId clock,
   Stages st = run_stages(ff, clock, opt, ff_hash, part_key);
   std::shared_ptr<const McrArtifact> mcr =
       mcr_stage(*st.adj, opt.protocol, st.lineage_key);
+  // Last probe before the result artifact is assembled and published: a
+  // fault here proves a failed submission leaves no partial result entry.
+  fault::maybe_throw("engine.stage.result");
+  cancel_point();
 
   const DesyncResult& dr = st.synth->result;
   auto ra = std::make_shared<ResultArtifact>();

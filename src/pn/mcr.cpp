@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <exception>
+#include <mutex>
 #include <thread>
 
+#include "base/cancel.h"
 #include "pn/analysis.h"
 
 namespace desyn::pn {
@@ -356,6 +359,10 @@ CycleRatioResult McrScratch::howard(const McrArcs& g, int comps) {
       }
     }
     for (int iter = 0; iter < acap; ++iter) {
+      // Deadline/cancel probe: policy iteration is the only unbounded-ish
+      // loop in the flow's hot path, so a tripped request token must be
+      // able to abort a solve mid-component.
+      cancel_point();
       // -- evaluate: score the policy graph, track its best cycle --------
       comp_best = -1.0;
       comp_best_len = 0;
@@ -845,19 +852,37 @@ std::vector<CycleRatioResult> McrBatch::solve_all(std::span<const Ps> delays,
   // Workers claim whole blocks; every block's solves depend only on data
   // inside the block and results land at fixed sample indices, so the
   // output is byte-identical at any worker count.
+  //
+  // The caller's cancel token (a thread-local) is re-installed inside each
+  // worker so a request deadline also aborts batch solves; a throw inside a
+  // worker is parked and rethrown on the caller after the join, because an
+  // exception escaping a std::thread body is std::terminate.
+  const CancelToken* cancel = current_cancel();
   std::atomic<size_t> next{0};
+  std::atomic<bool> aborted{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
   std::vector<std::thread> pool;
   pool.reserve(static_cast<size_t>(workers));
   for (int w = 0; w < workers; ++w) {
     pool.emplace_back([&] {
+      CancelScope scope(cancel);
       McrScratch s = structure_;  // shared structure, private solve state
-      for (size_t b = next.fetch_add(1); b < blocks;
-           b = next.fetch_add(1)) {
-        run_block(s, b);
+      try {
+        for (size_t b = next.fetch_add(1);
+             b < blocks && !aborted.load(std::memory_order_relaxed);
+             b = next.fetch_add(1)) {
+          run_block(s, b);
+        }
+      } catch (...) {
+        aborted.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
       }
     });
   }
   for (auto& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
   return out;
 }
 

@@ -8,6 +8,9 @@
 //    "strategy": "prefix:1", "margin": 1.1, "protocol": "pulse"}
 //
 // strategy/margin/protocol are optional (defaults: prefix, 1.1, pulse).
+// An optional "timeout_ms" (integer, [0, 3600000], 0 = none) arms a
+// per-request deadline: the flow is cancelled cooperatively at stage
+// boundaries and inside the MCR solver loops once it expires.
 // A successful response reuses the desyn-sweep-v2 cell vocabulary and
 // carries the emitted circuit:
 //
@@ -32,19 +35,34 @@
 // failure is a typed error response — the connection (and the server)
 // survives malformed input:
 //
-//   {"schema": "desyn-svc-v1", "error": {"kind": "parse|request|flow",
+//   {"schema": "desyn-svc-v1", "error": {"kind": "<kind>",
 //                                        "message": "..."}}
 //
-//   parse    the line is not valid JSON
-//   request  the JSON is missing/invalid fields (bad strategy name,
-//            unknown clock net, unreadable circuit, margin out of range)
-//   flow     the flow itself rejected the design (e.g. multiple clocks)
+//   parse      the line is not valid JSON
+//   request    the JSON is missing/invalid fields (bad strategy name,
+//              unknown clock net, unreadable circuit, margin out of range)
+//   flow       the flow itself rejected the design (e.g. multiple clocks)
+//   deadline   the request's timeout_ms expired mid-flow
+//   cancelled  the request was cancelled (server drain)
+//   busy       the server shed the connection at admission (max_pending);
+//              retryable — submissions are content-addressed
+//   limit      a request line exceeded max_request_bytes (connection is
+//              then dropped)
+//   internal   an injected fault or unexpected exception; retryable
 //
-// Concurrency: a small fixed pool of worker threads accepts and serves
-// connections; all workers share one Engine (stage artifacts computed for
-// one client are served to every other).
+// Concurrency and graceful degradation: one acceptor thread admits
+// connections into a bounded queue; a fixed pool of worker threads drains
+// it, one connection at a time, exceptions isolated per connection. When
+// the queue is full the acceptor writes a typed `busy` response and
+// closes — no client can grow server state unboundedly. Accepted sockets
+// carry SO_RCVTIMEO/SO_SNDTIMEO deadlines so a stalled or idle peer
+// cannot pin a worker. All workers share one Engine (stage artifacts
+// computed for one client are served to every other). docs/ROBUSTNESS.md
+// covers the failure model end to end.
 #pragma once
 
+#include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -52,6 +70,7 @@
 #include <thread>
 #include <vector>
 
+#include "base/cancel.h"
 #include "flow/engine.h"
 
 namespace desyn::svc {
@@ -61,6 +80,11 @@ struct ServerOptions {
   int threads = 2;          ///< worker pool size
   size_t capacity = 96;     ///< engine artifact-store capacity (entries)
   std::string cache_dir;    ///< optional on-disk artifact tier
+  int max_pending = 16;     ///< admitted connections awaiting a worker
+                            ///< before the acceptor sheds with `busy`
+  int io_timeout_ms = 30000;  ///< per-connection socket read/write
+                              ///< deadline; 0 = none
+  size_t max_request_bytes = 16u << 20;  ///< request-line cap (`limit`)
 };
 
 class Server {
@@ -72,15 +96,20 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind + listen on the socket and launch the worker pool. Throws Error
-  /// when the socket cannot be created (path too long, bind failure). A
-  /// stale socket file at the path is replaced.
+  /// Bind + listen on the socket and launch the acceptor + worker pool.
+  /// Throws Error when the socket cannot be created (path too long, bind
+  /// failure). A stale socket file at the path is replaced.
   void start();
 
-  /// Shut the listener down, join the workers, unlink the socket file.
-  /// Idempotent. In-flight requests finish (their responses are written);
-  /// idle and queued connections are dropped.
+  /// Shut the listener down, join acceptor + workers, unlink the socket
+  /// file. Idempotent. In-flight requests finish (their responses are
+  /// written); idle and queued connections are dropped.
   void stop();
+
+  /// Cancels every in-flight request (they answer with a typed
+  /// `cancelled` error). Pair with stop() for a bounded-time drain when a
+  /// second SIGTERM demands immediate shutdown.
+  void cancel_inflight();
 
   bool running() const { return listen_fd_ >= 0; }
   const std::string& socket_path() const { return opt_.socket_path; }
@@ -93,16 +122,22 @@ class Server {
   std::string handle_request(const std::string& line);
 
  private:
+  void acceptor();
   void worker();
   void serve_connection(int fd);
+  bool write_line(int fd, std::string line);
 
   const cell::Tech& tech_;
   ServerOptions opt_;
   flow::Engine engine_;
   int listen_fd_ = -1;
+  std::thread acceptor_;
   std::vector<std::thread> workers_;
-  std::mutex conn_mu_;   ///< guards conns_ + stopping_
-  std::set<int> conns_;  ///< accepted connections still being served
+  std::mutex conn_mu_;  ///< guards conns_/pending_/inflight_/stopping_
+  std::condition_variable pending_cv_;
+  std::deque<int> pending_;  ///< admitted, waiting for a worker
+  std::set<int> conns_;      ///< connections currently being served
+  std::set<CancelToken*> inflight_;  ///< tokens of requests mid-flow
   bool stopping_ = false;
 };
 
